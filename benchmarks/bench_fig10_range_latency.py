@@ -1,0 +1,52 @@
+"""E9/E10 (Fig. 10): range-query latency (parallel DHT-lookup steps).
+
+Asserts the figure's ordering on prebuilt indexes: PHT(sequential) is
+worst by roughly an order of magnitude at wide spans (its walk is fully
+sequential); LHT beats PHT(parallel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+N_QUERIES = 100
+SPAN = 0.1
+
+
+def _queries(span: float = SPAN) -> list[tuple[float, float]]:
+    rng = np.random.default_rng(5)
+    lows = rng.random(N_QUERIES) * (1 - span)
+    return [(float(lo), float(lo) + span) for lo in lows]
+
+
+def _latency(run, span: float = SPAN) -> int:
+    return sum(run(lo, hi).parallel_steps for lo, hi in _queries(span))
+
+
+@pytest.mark.benchmark(group="fig10-latency")
+def test_lht_range_latency(benchmark, lht_uniform):
+    total = benchmark(_latency, lht_uniform.range_query)
+    benchmark.extra_info["steps_per_query"] = total / N_QUERIES
+
+
+@pytest.mark.benchmark(group="fig10-latency")
+def test_pht_seq_range_latency(benchmark, pht_uniform):
+    total = benchmark(_latency, pht_uniform.range_query_sequential)
+    benchmark.extra_info["steps_per_query"] = total / N_QUERIES
+
+
+@pytest.mark.benchmark(group="fig10-latency")
+def test_pht_par_range_latency(benchmark, pht_uniform):
+    total = benchmark(_latency, pht_uniform.range_query_parallel)
+    benchmark.extra_info["steps_per_query"] = total / N_QUERIES
+
+
+def test_fig10_ordering(lht_uniform, pht_uniform, lht_gaussian, pht_gaussian):
+    for lht, pht in ((lht_uniform, pht_uniform), (lht_gaussian, pht_gaussian)):
+        lht_steps = _latency(lht.range_query)
+        seq_steps = _latency(pht.range_query_sequential)
+        par_steps = _latency(pht.range_query_parallel)
+        assert lht_steps < par_steps < seq_steps
+        # "by an order of magnitude": sequential is several-fold worse
+        assert seq_steps > 3 * par_steps

@@ -1,0 +1,47 @@
+"""E1/E2 (Fig. 6): tree growth and the average split fraction ᾱ.
+
+Times LHT bulk construction (the workload behind Fig. 6's curves) at the
+paper's two headline thresholds, and asserts the measured ᾱ against the
+closed form ``1/2 + 1/(2θ)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT
+from repro.experiments.fig6_alpha import expected_alpha
+
+N = 8_192
+
+
+def _grow(theta: int, distribution: str) -> LHTIndex:
+    rng = np.random.default_rng(1)
+    if distribution == "gaussian":
+        keys: list[float] = []
+        while len(keys) < N:
+            batch = rng.normal(0.5, 1 / 6, 2 * N)
+            keys.extend(float(k) for k in batch if 0 <= k < 1)
+        keys = keys[:N]
+    else:
+        keys = [float(k) for k in rng.random(N)]
+    index = LHTIndex(LocalDHT(64, 0), IndexConfig(theta_split=theta, max_depth=24))
+    index.bulk_load(keys)
+    return index
+
+
+@pytest.mark.benchmark(group="fig6-growth")
+@pytest.mark.parametrize("theta", [40, 160])
+@pytest.mark.parametrize("distribution", ["uniform", "gaussian"])
+def test_tree_growth_alpha(benchmark, theta, distribution):
+    index = benchmark.pedantic(
+        _grow, args=(theta, distribution), rounds=3, iterations=1
+    )
+    alpha = index.ledger.average_alpha
+    benchmark.extra_info["average_alpha"] = alpha
+    benchmark.extra_info["expected_alpha"] = expected_alpha(theta)
+    # Fig. 6's shape: ᾱ near 1/2 + 1/(2θ); gaussian deviates more.
+    tolerance = 0.02 if distribution == "uniform" else 0.06
+    assert abs(alpha - expected_alpha(theta)) < tolerance

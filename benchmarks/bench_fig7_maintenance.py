@@ -1,0 +1,55 @@
+"""E3/E4 (Fig. 7): cumulative maintenance cost of LHT vs PHT.
+
+Times index construction for both schemes on the same dataset and
+asserts the paper's ratios: LHT moves ≈ half the records and spends
+≈ a quarter of the maintenance DHT-lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pht import PHTIndex
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT
+
+N = 16_384
+THETA = 100
+
+
+def _dataset() -> list[float]:
+    return [float(k) for k in np.random.default_rng(2).random(N)]
+
+
+def _build(scheme: str):
+    keys = _dataset()
+    config = IndexConfig(theta_split=THETA, max_depth=24)
+    cls = LHTIndex if scheme == "lht" else PHTIndex
+    index = cls(LocalDHT(64, 0), config)
+    index.bulk_load(keys)
+    return index
+
+
+@pytest.mark.benchmark(group="fig7-build")
+@pytest.mark.parametrize("scheme", ["lht", "pht"])
+def test_build_maintenance(benchmark, scheme):
+    index = benchmark.pedantic(_build, args=(scheme,), rounds=3, iterations=1)
+    benchmark.extra_info["maintenance_lookups"] = index.ledger.maintenance_lookups
+    benchmark.extra_info["records_moved"] = index.ledger.maintenance_records_moved
+    benchmark.extra_info["splits"] = index.ledger.split_count
+
+
+def test_fig7_ratios():
+    """The figure's comparative claims, asserted once per bench run."""
+    lht = _build("lht")
+    pht = _build("pht")
+    lookup_ratio = (
+        lht.ledger.maintenance_lookups / pht.ledger.maintenance_lookups
+    )
+    move_ratio = (
+        lht.ledger.maintenance_records_moved
+        / pht.ledger.maintenance_records_moved
+    )
+    assert 0.2 < lookup_ratio < 0.3, f"Fig. 7b expects ~25%, got {lookup_ratio:.1%}"
+    assert 0.4 < move_ratio < 0.6, f"Fig. 7a expects ~50%, got {move_ratio:.1%}"

@@ -1,0 +1,59 @@
+"""E5/E6 (Fig. 8): LHT-lookup vs PHT-lookup cost and speed.
+
+Times lookups on prebuilt 20k-record indexes (uniform and gaussian) and
+asserts the figure's shape: LHT uses fewer DHT-lookups than PHT (its
+binary search runs over ≈ D/2 name classes instead of D lengths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+N_PROBES = 1_000
+
+
+def _probes() -> list[float]:
+    return [float(k) for k in np.random.default_rng(3).random(N_PROBES)]
+
+
+def _total_cost(index, probes) -> int:
+    return sum(index.lookup(k).dht_lookups for k in probes)
+
+
+@pytest.mark.benchmark(group="fig8-lookup-uniform")
+def test_lht_lookup_uniform(benchmark, lht_uniform):
+    probes = _probes()
+    total = benchmark(_total_cost, lht_uniform, probes)
+    benchmark.extra_info["dht_lookups_per_lookup"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="fig8-lookup-uniform")
+def test_pht_lookup_uniform(benchmark, pht_uniform):
+    probes = _probes()
+    total = benchmark(_total_cost, pht_uniform, probes)
+    benchmark.extra_info["dht_lookups_per_lookup"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="fig8-lookup-gaussian")
+def test_lht_lookup_gaussian(benchmark, lht_gaussian):
+    probes = _probes()
+    total = benchmark(_total_cost, lht_gaussian, probes)
+    benchmark.extra_info["dht_lookups_per_lookup"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="fig8-lookup-gaussian")
+def test_pht_lookup_gaussian(benchmark, pht_gaussian):
+    probes = _probes()
+    total = benchmark(_total_cost, pht_gaussian, probes)
+    benchmark.extra_info["dht_lookups_per_lookup"] = total / N_PROBES
+
+
+def test_fig8_shape(lht_uniform, pht_uniform, lht_gaussian, pht_gaussian):
+    """LHT's lookup cost sits below PHT's on both distributions."""
+    probes = _probes()
+    for lht, pht in ((lht_uniform, pht_uniform), (lht_gaussian, pht_gaussian)):
+        lht_cost = _total_cost(lht, probes)
+        pht_cost = _total_cost(pht, probes)
+        saving = 1 - lht_cost / pht_cost
+        assert saving > 0.1, f"expected >10% lookup saving, got {saving:.1%}"

@@ -1,0 +1,57 @@
+"""E7/E8 (Fig. 9): range-query bandwidth of LHT vs PHT(seq) vs PHT(par).
+
+Times a fixed query batch per algorithm on prebuilt indexes and asserts
+the figure's ordering: PHT(parallel) pays the most DHT-lookups (it visits
+every internal trie node under the LCA); LHT is lowest, at most a few
+lookups above the per-bucket optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+N_QUERIES = 100
+SPAN = 0.05
+
+
+def _queries() -> list[tuple[float, float]]:
+    rng = np.random.default_rng(4)
+    lows = rng.random(N_QUERIES) * (1 - SPAN)
+    return [(float(lo), float(lo) + SPAN) for lo in lows]
+
+
+def _bandwidth(run) -> int:
+    return sum(run(lo, hi).dht_lookups for lo, hi in _queries())
+
+
+@pytest.mark.benchmark(group="fig9-bandwidth")
+def test_lht_range_bandwidth(benchmark, lht_uniform):
+    total = benchmark(_bandwidth, lht_uniform.range_query)
+    benchmark.extra_info["dht_lookups_per_query"] = total / N_QUERIES
+
+
+@pytest.mark.benchmark(group="fig9-bandwidth")
+def test_pht_seq_range_bandwidth(benchmark, pht_uniform):
+    total = benchmark(_bandwidth, pht_uniform.range_query_sequential)
+    benchmark.extra_info["dht_lookups_per_query"] = total / N_QUERIES
+
+
+@pytest.mark.benchmark(group="fig9-bandwidth")
+def test_pht_par_range_bandwidth(benchmark, pht_uniform):
+    total = benchmark(_bandwidth, pht_uniform.range_query_parallel)
+    benchmark.extra_info["dht_lookups_per_query"] = total / N_QUERIES
+
+
+def test_fig9_ordering(lht_uniform, pht_uniform):
+    lht = _bandwidth(lht_uniform.range_query)
+    seq = _bandwidth(pht_uniform.range_query_sequential)
+    par = _bandwidth(pht_uniform.range_query_parallel)
+    assert lht <= seq < par, (lht, seq, par)
+
+
+def test_fig9_near_optimality(lht_uniform):
+    """§6.3: bandwidth ≤ B + 3 (+1 for the repaired child case)."""
+    for lo, hi in _queries():
+        result = lht_uniform.range_query(lo, hi)
+        assert result.dht_lookups <= result.buckets_visited + 4

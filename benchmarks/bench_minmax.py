@@ -1,0 +1,34 @@
+"""E12 (Theorem 3): min/max queries in one DHT-lookup.
+
+Benchmarks min/max on the prebuilt 20k-record index and asserts the
+constant single-lookup cost, against PHT's depth-proportional descent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.mark.benchmark(group="minmax")
+def test_lht_min(benchmark, lht_uniform):
+    result = benchmark(lht_uniform.min_query)
+    assert result.dht_lookups == 1
+
+
+@pytest.mark.benchmark(group="minmax")
+def test_lht_max(benchmark, lht_uniform):
+    result = benchmark(lht_uniform.max_query)
+    assert result.dht_lookups == 1
+
+
+@pytest.mark.benchmark(group="minmax")
+def test_pht_min(benchmark, pht_uniform):
+    record, cost = benchmark(pht_uniform.min_query)
+    assert cost > 1  # trie-edge descent: one probe per level
+
+
+def test_theorem3_shape(lht_uniform, pht_uniform, uniform_keys):
+    assert lht_uniform.min_query().record.key == min(uniform_keys)
+    assert lht_uniform.max_query().record.key == max(uniform_keys)
+    _, pht_cost = pht_uniform.min_query()
+    assert lht_uniform.min_query().dht_lookups < pht_cost

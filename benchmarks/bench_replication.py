@@ -1,0 +1,42 @@
+"""E17 (extension): the replication write-cost / availability trade-off.
+
+Benchmarks index construction over :class:`ReplicatedDHT` at replication
+factors 1-3 and records the routed-operation multiplier — the price of
+the availability the crash tests demonstrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT, ReplicatedDHT
+
+N = 5_000
+
+
+def _build(n_replicas: int) -> LHTIndex:
+    keys = [float(k) for k in np.random.default_rng(7).random(N)]
+    dht = ReplicatedDHT(LocalDHT(64, 0), n_replicas=n_replicas)
+    index = LHTIndex(dht, IndexConfig(theta_split=50, max_depth=20))
+    for key in keys:
+        index.insert(key)
+    return index
+
+
+@pytest.mark.benchmark(group="replication-build")
+@pytest.mark.parametrize("n_replicas", [1, 2, 3])
+def test_replicated_build(benchmark, n_replicas):
+    index = benchmark.pedantic(
+        _build, args=(n_replicas,), rounds=2, iterations=1
+    )
+    benchmark.extra_info["routed_ops"] = index.dht.metrics.dht_lookups
+
+
+def test_write_cost_scales_with_replicas():
+    ops = {r: _build(r).dht.metrics.dht_lookups for r in (1, 2, 3)}
+    # puts are replicated; gets are not (primary answers), so the total
+    # grows sub-linearly in r but strictly monotonically.
+    assert ops[1] < ops[2] < ops[3]
+    assert ops[3] < 3 * ops[1]

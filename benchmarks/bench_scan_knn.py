@@ -1,0 +1,45 @@
+"""E18 (extension): ordered scan and k-nearest-key query cost.
+
+Benchmarks the traversal extensions on the prebuilt 20k-record index:
+a full ordered scan costs ~one DHT-lookup per leaf; a kNN query touches
+only a neighborhood of leaves regardless of index size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scan import knn_query, scan_records
+
+
+@pytest.mark.benchmark(group="scan")
+def test_full_ordered_scan(benchmark, lht_uniform):
+    def run() -> int:
+        return sum(1 for _ in scan_records(lht_uniform.dht, lht_uniform.config))
+
+    count = benchmark(run)
+    assert count == len(lht_uniform)
+
+
+@pytest.mark.benchmark(group="knn")
+@pytest.mark.parametrize("k", [1, 10, 100])
+def test_knn(benchmark, lht_uniform, k):
+    probes = [float(p) for p in np.random.default_rng(8).random(50)]
+
+    def run() -> int:
+        return sum(
+            knn_query(lht_uniform.dht, lht_uniform.config, p, k).dht_lookups
+            for p in probes
+        )
+
+    total = benchmark(run)
+    benchmark.extra_info["lookups_per_query"] = total / len(probes)
+
+
+def test_knn_locality(lht_uniform):
+    """kNN cost stays near the lookup cost for small k — it must not
+    degrade into a scan."""
+    result = knn_query(lht_uniform.dht, lht_uniform.config, 0.5, 5)
+    assert result.dht_lookups < 12
+    assert len(result.records) == 5

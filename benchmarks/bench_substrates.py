@@ -1,0 +1,51 @@
+"""E13: routed-operation cost across DHT substrates.
+
+Benchmarks raw get throughput per substrate and records the mean
+physical hops per routed operation (the cost-model's ``j`` driver).
+Index-level counts are substrate-independent — asserted in the test
+suite; here we measure what *does* differ: routing work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht import CANDHT, ChordDHT, KademliaDHT, LocalDHT, PastryDHT, TapestryDHT
+
+SUBSTRATES = {
+    "local": lambda: LocalDHT(n_peers=256, seed=0),
+    "chord": lambda: ChordDHT(n_peers=256, seed=0),
+    "can": lambda: CANDHT(n_peers=256, seed=0),
+    "kademlia": lambda: KademliaDHT(n_peers=256, seed=0),
+    "pastry": lambda: PastryDHT(n_peers=256, seed=0),
+    "tapestry": lambda: TapestryDHT(n_peers=256, seed=0),
+}
+
+N_OPS = 500
+
+
+@pytest.mark.benchmark(group="substrates-get")
+@pytest.mark.parametrize("name", sorted(SUBSTRATES))
+def test_routed_gets(benchmark, name):
+    dht = SUBSTRATES[name]()
+    for i in range(N_OPS):
+        dht.put(f"k{i}", i)
+
+    def run() -> None:
+        for i in range(N_OPS):
+            dht.get(f"k{i}")
+
+    benchmark(run)
+    benchmark.extra_info["mean_hops_per_op"] = (
+        dht.metrics.hops / dht.metrics.dht_lookups
+    )
+
+
+def test_hops_scale_sublinearly():
+    """All routed substrates stay well under linear scan cost."""
+    for name, factory in SUBSTRATES.items():
+        dht = factory()
+        for i in range(100):
+            dht.put(f"k{i}", i)
+        mean_hops = dht.metrics.hops / dht.metrics.dht_lookups
+        assert mean_hops < 32, f"{name}: {mean_hops} hops for 256 peers"

@@ -1,0 +1,77 @@
+"""Shared prebuilt indexes for the benchmark suite.
+
+Benchmarks time the *operations* the paper measures (tree growth,
+lookups, range queries, min/max) on indexes built once per session; each
+module also asserts the paper's qualitative shape so a regression in the
+algorithms fails the bench run, not just slows it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pht import PHTIndex
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT
+
+BENCH_SIZE = 20_000
+BENCH_THETA = 100
+BENCH_DEPTH = 20
+
+
+def _keys(distribution: str, n: int = BENCH_SIZE, seed: int = 0) -> list[float]:
+    rng = np.random.default_rng(seed)
+    if distribution == "gaussian":
+        out: list[float] = []
+        while len(out) < n:
+            batch = rng.normal(0.5, 1 / 6, 2 * (n - len(out)))
+            out.extend(float(k) for k in batch if 0.0 <= k < 1.0)
+        return out[:n]
+    return [float(k) for k in rng.random(n)]
+
+
+@pytest.fixture(scope="session")
+def uniform_keys() -> list[float]:
+    return _keys("uniform")
+
+
+@pytest.fixture(scope="session")
+def gaussian_keys() -> list[float]:
+    return _keys("gaussian")
+
+
+@pytest.fixture(scope="session")
+def lht_uniform(uniform_keys) -> LHTIndex:
+    index = LHTIndex(
+        LocalDHT(64, 0), IndexConfig(theta_split=BENCH_THETA, max_depth=BENCH_DEPTH)
+    )
+    index.bulk_load(uniform_keys)
+    return index
+
+
+@pytest.fixture(scope="session")
+def pht_uniform(uniform_keys) -> PHTIndex:
+    index = PHTIndex(
+        LocalDHT(64, 0), IndexConfig(theta_split=BENCH_THETA, max_depth=BENCH_DEPTH)
+    )
+    index.bulk_load(uniform_keys)
+    return index
+
+
+@pytest.fixture(scope="session")
+def lht_gaussian(gaussian_keys) -> LHTIndex:
+    index = LHTIndex(
+        LocalDHT(64, 0), IndexConfig(theta_split=BENCH_THETA, max_depth=BENCH_DEPTH)
+    )
+    index.bulk_load(gaussian_keys)
+    return index
+
+
+@pytest.fixture(scope="session")
+def pht_gaussian(gaussian_keys) -> PHTIndex:
+    index = PHTIndex(
+        LocalDHT(64, 0), IndexConfig(theta_split=BENCH_THETA, max_depth=BENCH_DEPTH)
+    )
+    index.bulk_load(gaussian_keys)
+    return index

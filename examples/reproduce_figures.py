@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""One-command reproduction: regenerate paper figures into a report.
+
+Runs a fast subset of the paper's experiments (Fig. 6b, Fig. 7, Eq. 3,
+Theorem 3) at CI scale, saves the JSON artefacts, and renders a single
+Markdown report — the same pipeline `lht-experiments` + the report tool
+use for the full paper-scale record in EXPERIMENTS.md.
+
+Run:
+    python examples/reproduce_figures.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.report import load_directory, to_markdown
+from repro.experiments.runner import run_experiments
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results/demo")
+    print(f"regenerating Fig. 6b / Fig. 7 / Eq. 3 / Thm. 3 into {out_dir}/ ...\n")
+    results = run_experiments(
+        ["fig6", "fig7", "eq3", "minmax"], scale="ci", seed=0, out=str(out_dir)
+    )
+
+    report_path = out_dir / "report.md"
+    report_path.write_text(to_markdown(load_directory(out_dir)))
+    print(f"report written: {report_path}")
+
+    # A one-paragraph human summary of what was just verified.
+    by_id = {r.experiment_id: r for r in results}
+    e4 = by_id["E4"]
+    lht = e4.series_by_label("lht/uniform").y[-1]
+    pht = e4.series_by_label("pht/uniform").y[-1]
+    e11 = by_id["E11"]
+    measured = e11.series_by_label("measured")
+    print("\nsummary of this run:")
+    print(f"  maintenance DHT-lookups at the largest size: "
+          f"LHT {lht:.0f} vs PHT {pht:.0f} (ratio {lht / pht:.2f}; paper: ~0.25)")
+    print(f"  Eq. 3 saving ratio across gamma: "
+          f"{min(measured.y):.1%} .. {max(measured.y):.1%} (paper: 50%..75%)")
+    e12 = by_id["E12"]
+    assert all(y == 1 for y in e12.series_by_label("lht-min").y)
+    print("  min/max queries: 1 DHT-lookup at every size (Theorem 3)")
+
+
+if __name__ == "__main__":
+    main()

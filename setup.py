@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation (offline).
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` with legacy setuptools when the ``wheel`` package is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of *LHT: A Low-Maintenance Indexing Scheme over
+DHTs* (Tang & Zhou, ICDCS 2008).
+
+The package provides:
+
+* :class:`repro.LHTIndex` — the paper's contribution: a distributed
+  space-partition tree mapped onto any generic DHT by the naming function
+  ``f_n``, supporting exact-match, range, and min/max queries with
+  one-DHT-lookup splits;
+* DHT substrates (:class:`repro.LocalDHT`, :class:`repro.ChordDHT`,
+  :class:`repro.KademliaDHT`, :class:`repro.PastryDHT`) behind one
+  put/get interface;
+* the PHT / DST / raw-DHT baselines (:mod:`repro.baselines`);
+* the paper's linear cost model (:mod:`repro.costmodel`);
+* workload generators (:mod:`repro.workloads`) and the experiment harness
+  (:mod:`repro.experiments`) regenerating every figure in §9.
+
+Quickstart::
+
+    from repro import LHTIndex, LocalDHT
+
+    index = LHTIndex(LocalDHT(n_peers=64))
+    index.insert(0.42, "answer")
+    print(index.range_query(0.4, 0.5).records)
+"""
+
+from repro.baselines import DSTIndex, NaiveIndex, PHTIndex
+from repro.core import (
+    IndexConfig,
+    IndexInspector,
+    Label,
+    LeafBucket,
+    LHTIndex,
+    Range,
+    Record,
+    ReferenceTree,
+)
+from repro.costmodel import LinearCostModel, saving_ratio
+from repro.dht import (
+    CANDHT,
+    ChordDHT,
+    DHT,
+    KademliaDHT,
+    LocalDHT,
+    MetricsRecorder,
+    PastryDHT,
+)
+from repro.multidim import MultiDimIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSTIndex",
+    "NaiveIndex",
+    "PHTIndex",
+    "IndexConfig",
+    "IndexInspector",
+    "Label",
+    "LeafBucket",
+    "LHTIndex",
+    "Range",
+    "Record",
+    "ReferenceTree",
+    "LinearCostModel",
+    "saving_ratio",
+    "CANDHT",
+    "ChordDHT",
+    "DHT",
+    "KademliaDHT",
+    "LocalDHT",
+    "MetricsRecorder",
+    "PastryDHT",
+    "MultiDimIndex",
+    "__version__",
+]

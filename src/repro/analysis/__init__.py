@@ -1,0 +1,10 @@
+"""Statistical aggregation helpers for the experiment harness."""
+
+from repro.analysis.stats import (
+    Aggregate,
+    aggregate,
+    gini_coefficient,
+    powers_of_two,
+)
+
+__all__ = ["Aggregate", "aggregate", "gini_coefficient", "powers_of_two"]

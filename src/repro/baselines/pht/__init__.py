@@ -1,0 +1,6 @@
+"""Prefix Hash Tree baseline (paper's main comparison point)."""
+
+from repro.baselines.pht.index import PHTIndex, PHTLookupResult
+from repro.baselines.pht.node import PHTNode
+
+__all__ = ["PHTIndex", "PHTLookupResult", "PHTNode"]

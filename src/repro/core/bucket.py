@@ -1,0 +1,172 @@
+"""Records and leaf buckets (paper §3.1, §3.3, Fig. 3a).
+
+A *record* is the data unit: a distinct numeric data key ``δ ∈ [0, 1)``
+plus an opaque payload.  A *leaf bucket* is the unit LHT distributes over
+the DHT: the leaf's label (which doubles as the peer's summarized local
+view of the whole partition tree) plus the record store.
+
+Capacity accounting follows the paper exactly: a bucket of threshold
+``θ_split`` has ``θ_split`` storage slots, one of which is occupied by the
+leaf label itself (§9.2, the "extra storage of leaf label").  A bucket is
+therefore *full* once it holds ``θ_split - 1`` records, and the measured
+split fraction ``α`` counts slots, reproducing the paper's
+``ᾱ = 1/2 + 1/(2θ)`` for uniform data.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.interval import Range
+from repro.core.label import Label
+from repro.errors import KeyOutOfRangeError
+
+__all__ = ["Record", "LeafBucket"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Record:
+    """A data record: a key in ``[0, 1)`` and an opaque payload.
+
+    Records order by key so bucket stores can stay sorted; the payload is
+    excluded from ordering and equality-by-order comparisons.
+    """
+
+    key: float
+    value: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.key < 1.0:
+            raise KeyOutOfRangeError(f"record key {self.key} outside [0, 1)")
+
+
+class LeafBucket:
+    """A leaf bucket: leaf label + sorted record store (paper Fig. 3a).
+
+    The bucket is the atomic unit mapped onto the DHT.  Its label is the
+    peer's entire local view of the partition tree ("local tree
+    summarization", §3.3) — no other structural state is kept, which is
+    what makes LHT maintenance-free beyond splits and merges.
+    """
+
+    __slots__ = ("_label", "_records")
+
+    def __init__(self, label: Label, records: list[Record] | None = None) -> None:
+        self._label = label
+        self._records: list[Record] = sorted(records) if records else []
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def label(self) -> Label:
+        """The leaf label ``λ``."""
+        return self._label
+
+    @label.setter
+    def label(self, new_label: Label) -> None:
+        """Relabel the bucket (used during splits/merges, Alg. 1)."""
+        self._label = new_label
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        """The records, sorted by key (read-only view)."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    @property
+    def slot_count(self) -> int:
+        """Occupied storage slots: the records plus one slot for the label.
+
+        This is the paper's bucket "size" used in the α measurement
+        (§9.2): each newly produced bucket spends one record slot on its
+        leaf label.
+        """
+        return len(self._records) + 1
+
+    def is_full(self, theta_split: int) -> bool:
+        """Whether the bucket has no free slot under threshold ``θ_split``."""
+        return self.slot_count >= theta_split
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+
+    def add(self, record: Record) -> None:
+        """Insert a record, keeping the store sorted by key.
+
+        The record's key must fall in the leaf's interval; the index layer
+        guarantees this by construction, and violating it indicates a
+        routing bug, so it raises.
+        """
+        if not self._label.contains(record.key):
+            raise KeyOutOfRangeError(
+                f"key {record.key} outside leaf {self._label} interval "
+                f"{self._label.interval}"
+            )
+        bisect.insort(self._records, record)
+
+    def remove(self, key: float) -> Record | None:
+        """Remove and return one record with the given key, or ``None``."""
+        idx = bisect.bisect_left(self._records, Record(key))
+        if idx < len(self._records) and self._records[idx].key == key:
+            return self._records.pop(idx)
+        return None
+
+    def find(self, key: float) -> Record | None:
+        """Return one record with the given key, or ``None``."""
+        idx = bisect.bisect_left(self._records, Record(key))
+        if idx < len(self._records) and self._records[idx].key == key:
+            return self._records[idx]
+        return None
+
+    def contains_key(self, key: float) -> bool:
+        """Whether the leaf's *interval* covers the key (paper's
+        "bucket contains δ" test in Alg. 2 — a geometric test, not a
+        membership test)."""
+        return self._label.contains(key)
+
+    def records_in(self, rng: Range) -> list[Record]:
+        """All records whose keys fall in the half-open query range."""
+        lo = bisect.bisect_left(self._records, Record(max(0.0, float(rng.lo))))
+        out: list[Record] = []
+        for record in self._records[lo:]:
+            if not rng.contains(record.key):
+                if record.key >= rng.hi:
+                    break
+                continue
+            out.append(record)
+        return out
+
+    def min_record(self) -> Record | None:
+        """The record with the smallest key, or ``None`` if empty."""
+        return self._records[0] if self._records else None
+
+    def max_record(self) -> Record | None:
+        """The record with the largest key, or ``None`` if empty."""
+        return self._records[-1] if self._records else None
+
+    def take_records_in(self, rng: Range) -> list[Record]:
+        """Remove and return all records in the range (used by splits)."""
+        kept: list[Record] = []
+        taken: list[Record] = []
+        for record in self._records:
+            (taken if rng.contains(record.key) else kept).append(record)
+        self._records = kept
+        return taken
+
+    def extend(self, records: list[Record]) -> None:
+        """Bulk-add records already known to lie in the leaf's interval."""
+        for record in records:
+            self.add(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LeafBucket({self._label}, n={len(self._records)})"

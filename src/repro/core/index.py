@@ -1,0 +1,349 @@
+"""The LHT index: the paper's contribution, assembled (§3-§7).
+
+:class:`LHTIndex` is a client of any generic DHT (:class:`repro.dht.base.DHT`).
+It stores leaf buckets under the DHT keys produced by the naming function
+``f_n`` and implements:
+
+* ``insert`` / ``delete`` — LHT-lookup + a DHT-put towards the bucket name
+  (§5), with leaf splitting (Alg. 1) and its dual merging (§3.2);
+* ``lookup`` / ``exact_match`` — Alg. 2;
+* ``range_query`` — Algs. 3-4 (§6);
+* ``min_query`` / ``max_query`` — Theorem 3 (§7);
+* ``bulk_load`` — a loader that keeps a client-side mirror of the leaf
+  label set so index *construction* skips per-record routed lookups.
+  Maintenance costs (split puts, moved records) are charged identically
+  to ``insert``; only the insertion's own lookup traffic is elided.  The
+  maintenance experiments (Figs. 6-7) measure exactly the maintenance
+  ledger, so bulk loading reproduces the paper's numbers at a fraction of
+  the wall-clock.
+
+Cost accounting: substrate-level totals live in ``index.dht.metrics``;
+maintenance-only totals (the paper's Fig. 7 measure) live in
+``index.ledger``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.bucket import LeafBucket, Record
+from repro.core.config import IndexConfig
+from repro.core.interval import Range
+from repro.core.keys import key_bits
+from repro.core.label import Label, ROOT
+from repro.core.lookup import lht_lookup
+from repro.core.minmax import max_query, min_query
+from repro.core.naming import naming
+from repro.core.range_query import RangeQueryExecutor
+from repro.core.results import (
+    CostLedger,
+    DeleteResult,
+    InsertResult,
+    LookupResult,
+    MergeEvent,
+    MinMaxResult,
+    RangeQueryResult,
+    SplitEvent,
+)
+from repro.dht.base import DHT
+from repro.errors import LookupError_
+
+__all__ = ["LHTIndex"]
+
+
+class LHTIndex:
+    """A Low-maintenance Hash Tree over a generic DHT.
+
+    Args:
+        dht: Any substrate implementing the put/get interface.
+        config: Split threshold ``θ_split`` and maximum depth ``D``.
+
+    Example::
+
+        from repro import LHTIndex, LocalDHT
+
+        index = LHTIndex(LocalDHT(n_peers=64))
+        index.insert(0.42, "answer")
+        index.range_query(0.4, 0.5).records
+    """
+
+    def __init__(self, dht: DHT, config: IndexConfig | None = None) -> None:
+        self.dht = dht
+        self.config = config or IndexConfig()
+        self.ledger = CostLedger()
+        self._range_executor = RangeQueryExecutor(dht, self.config)
+        # Client-side mirror of the leaf-label set, keyed by bit string.
+        # Kept exact because this index instance performs every split and
+        # merge itself; used only by the bulk_load fast path.
+        self._leaf_bits: set[str] = {ROOT.bits}
+        self.record_count = 0
+        # Bootstrap: the root leaf lives under f_n(#0) = '#'.
+        self.dht.put(str(naming(ROOT)), LeafBucket(ROOT))
+
+    # ------------------------------------------------------------------
+    # Lookup and exact match (§5)
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: float) -> LookupResult:
+        """Locate the leaf bucket covering ``key`` (Alg. 2)."""
+        return lht_lookup(self.dht, self.config, key)
+
+    def exact_match(self, key: float) -> tuple[Record | None, int]:
+        """Return (record with exactly this key or None, DHT-lookups used)."""
+        result = self.lookup(key)
+        if result.bucket is None:
+            raise LookupError_(f"lookup of {key} failed to converge")
+        return result.bucket.find(key), result.dht_lookups
+
+    def __contains__(self, key: float) -> bool:
+        record, _ = self.exact_match(key)
+        return record is not None
+
+    # ------------------------------------------------------------------
+    # Insertion (§5) and deletion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, value: Any = None) -> InsertResult:
+        """Insert a record: LHT-lookup of ``δ``, then a DHT-put towards
+        the bucket name ``κ`` (§5); at most one split per insertion."""
+        result = self.lookup(key)
+        if result.bucket is None or result.name is None:
+            raise LookupError_(f"lookup of {key} failed to converge")
+        lookups = result.dht_lookups
+        # The record travels to the bucket's peer: one routed DHT-put.
+        self.dht.put(str(result.name), result.bucket)
+        lookups += 1
+        leaf, split = self._place(result.bucket, Record(key, value))
+        return InsertResult(leaf=leaf, dht_lookups=lookups, split=split)
+
+    def delete(self, key: float) -> DeleteResult:
+        """Delete the record with exactly this key, if present."""
+        result = self.lookup(key)
+        if result.bucket is None or result.name is None:
+            raise LookupError_(f"lookup of {key} failed to converge")
+        lookups = result.dht_lookups
+        self.dht.put(str(result.name), result.bucket)  # routed delete message
+        lookups += 1
+        removed = result.bucket.remove(key)
+        if removed is None:
+            return DeleteResult(deleted=False, dht_lookups=lookups)
+        self.dht.local_write(str(result.name), result.bucket)
+        self.record_count -= 1
+        merges: tuple[MergeEvent, ...] = ()
+        if self.config.merge_enabled:
+            merges = tuple(self._maybe_merge(result.bucket))
+        return DeleteResult(deleted=True, dht_lookups=lookups, merges=merges)
+
+    def bulk_load(self, items: Iterable[float | tuple[float, Any]]) -> int:
+        """Insert many records via the client-side leaf mirror.
+
+        Accepts bare keys or ``(key, value)`` pairs; returns the number
+        inserted.  See the class docs for the cost-accounting contract.
+        """
+        count = 0
+        for item in items:
+            key, value = item if isinstance(item, tuple) else (item, None)
+            bucket = self._local_find_bucket(key)
+            self._place(bucket, Record(key, value))
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries (§6, §7)
+    # ------------------------------------------------------------------
+
+    def range_query(self, lo: float, hi: float) -> RangeQueryResult:
+        """All records with keys in ``[lo, hi)`` (Algs. 3-4)."""
+        return self._range_executor.run(Range(lo, hi))
+
+    def min_query(self) -> MinMaxResult:
+        """The record with the smallest key (Theorem 3)."""
+        return min_query(self.dht, self.config)
+
+    def max_query(self) -> MinMaxResult:
+        """The record with the largest key (Theorem 3)."""
+        return max_query(self.dht, self.config)
+
+    def scan(self):
+        """Iterate every record in ascending key order (one DHT-lookup
+        per leaf; see :mod:`repro.core.scan`)."""
+        from repro.core.scan import scan_records
+
+        return scan_records(self.dht, self.config)
+
+    def knn_query(self, key: float, k: int):
+        """The ``k`` records with keys nearest to ``key``
+        (:func:`repro.core.scan.knn_query`)."""
+        from repro.core.scan import knn_query
+
+        return knn_query(self.dht, self.config, key, k)
+
+    # ------------------------------------------------------------------
+    # Maintenance: split (Alg. 1) and merge (its dual)
+    # ------------------------------------------------------------------
+
+    def _place(
+        self, bucket: LeafBucket, record: Record
+    ) -> tuple[Label, SplitEvent | None]:
+        """Place a record that has arrived at its bucket, splitting once
+        if the bucket is full (§5: at most one split per insertion).
+
+        Persistence follows Alg. 1: the remote child travels with one
+        routed DHT-put (the pending record rides along when it belongs
+        there); the local bucket is written back to the holding peer's
+        disk (`local_write`, no overlay traffic).
+        """
+        event = None
+        if bucket.is_full(self.config.theta_split) and (
+            bucket.label.depth < self.config.max_depth
+        ):
+            event, remote_bucket = self._split(bucket)
+            target = (
+                remote_bucket
+                if remote_bucket.label.contains(record.key)
+                else bucket
+            )
+            target.add(record)
+            # Alg. 1 line 11: one routed put ships the remote bucket.
+            self.dht.put(str(event.parent), remote_bucket)
+            # Alg. 1 line 10: the local child is a local disk write.
+            self.dht.local_write(str(naming(bucket.label)), bucket)
+        else:
+            target = bucket
+            target.add(record)
+            self.dht.local_write(str(naming(bucket.label)), bucket)
+        self.record_count += 1
+        return target.label, event
+
+    def _split(self, bucket: LeafBucket) -> tuple[SplitEvent, LeafBucket]:
+        """Split a full leaf (Alg. 1) — pure state change.
+
+        By Theorem 2 one child keeps the parent's DHT name — it stays on
+        the same peer, relabelled in place — and only the other child
+        moves.  The caller performs the routed put of the remote bucket
+        (so the pending record can ride along) and the local write-back.
+        """
+        parent = bucket.label
+        if parent.last_bit == "1":
+            remote_label, local_label = parent.left_child, parent.right_child
+        else:
+            remote_label, local_label = parent.right_child, parent.left_child
+
+        moved = bucket.take_records_in(remote_label.interval.to_range())
+        # α is measured on the split partition, before the pending insert
+        # is placed (§9.2): remote records + the remote bucket's label slot.
+        alpha = (len(moved) + 1) / self.config.theta_split
+        bucket.label = local_label
+        remote_bucket = LeafBucket(remote_label, moved)
+        self.dht.metrics.record_moved_records(len(moved))
+
+        event = SplitEvent(
+            parent=parent,
+            local=local_label,
+            remote=remote_label,
+            alpha=alpha,
+            records_moved=len(moved),
+            dht_lookups=1,
+        )
+        self.ledger.record_split(event)
+        self._leaf_bits.discard(parent.bits)
+        self._leaf_bits.add(local_label.bits)
+        self._leaf_bits.add(remote_label.bits)
+        return event, remote_bucket
+
+    def _maybe_merge(self, bucket: LeafBucket) -> list[MergeEvent]:
+        """Merge with the sibling while both are small leaves (§3.2).
+
+        The merge is the split's dual (§8.2): the child named ``f_n(λ)``
+        absorbs the child named ``λ`` (one routed get to fetch the
+        sibling, one routed remove to retire its key), and the survivor is
+        relabelled to the parent *in place* — its DHT key is unchanged.
+        """
+        events: list[MergeEvent] = []
+        while bucket.label.depth >= 2:
+            parent = bucket.label.parent
+            sibling_label = bucket.label.sibling
+            # Which child keeps the parent's storage key?  The one whose
+            # own name equals f_n(parent) (Theorem 2's "local leaf").
+            local_is_us = naming(bucket.label) == naming(parent)
+            remote_key = parent if local_is_us else naming(parent)
+            peer = self.dht.get(str(remote_key))
+            lookups = 1
+            if not isinstance(peer, LeafBucket) or peer.label != sibling_label:
+                break  # the sibling subtree is not a single leaf
+            combined = len(bucket) + len(peer) + 1
+            if combined >= self.config.merge_threshold:
+                break
+
+            if local_is_us:
+                survivor, absorbed, absorbed_key = bucket, peer, parent
+            else:
+                survivor, absorbed, absorbed_key = peer, bucket, parent
+            moved = len(absorbed)
+            survivor.label = parent
+            survivor.extend(list(absorbed.records))
+            # The survivor's storage key is unchanged (f_n of the local
+            # child equals f_n of the parent): a local disk write.
+            self.dht.local_write(str(naming(parent)), survivor)
+            self.dht.remove(str(absorbed_key))
+            lookups += 1
+            self.dht.metrics.record_moved_records(moved)
+
+            event = MergeEvent(
+                survivor=parent,
+                absorbed=absorbed.label,
+                records_moved=moved,
+                dht_lookups=lookups,
+            )
+            self.ledger.record_merge(event)
+            events.append(event)
+            self._leaf_bits.discard(parent.left_child.bits)
+            self._leaf_bits.discard(parent.right_child.bits)
+            self._leaf_bits.add(parent.bits)
+            bucket = survivor
+        return events
+
+    # ------------------------------------------------------------------
+    # Client-side fast path
+    # ------------------------------------------------------------------
+
+    def _local_find_bucket(self, key: float) -> LeafBucket:
+        """Find the covering bucket via the client-side leaf mirror
+        (no routed lookups; used by :meth:`bulk_load`)."""
+        path = "0" + key_bits(key, self.config.max_depth - 1)
+        for end in range(1, len(path) + 1):
+            bits = path[:end]
+            if bits in self._leaf_bits:
+                label = Label(bits)
+                bucket = self.dht.peek(str(naming(label)))
+                if isinstance(bucket, LeafBucket) and bucket.label == label:
+                    return bucket
+                raise LookupError_(
+                    f"leaf mirror out of sync at {label}: did another "
+                    f"client mutate this index?"
+                )
+        raise LookupError_(f"no known leaf covers {key}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaf buckets (client-mirror view)."""
+        return len(self._leaf_bits)
+
+    @property
+    def depth(self) -> int:
+        """Depth in bits of the deepest leaf (client-mirror view)."""
+        return max(len(bits) for bits in self._leaf_bits)
+
+    def leaf_labels(self) -> list[Label]:
+        """All leaf labels in left-to-right order (client-mirror view)."""
+        return sorted(
+            (Label(bits) for bits in self._leaf_bits),
+            key=lambda lab: (lab.interval.low, lab.depth),
+        )

@@ -1,0 +1,75 @@
+"""Data-key ↔ label-path conversion (paper §5).
+
+A data key ``δ ∈ [0, 1)`` determines a root-to-leaf path in the
+space-partition tree.  Truncated at the maximum tree depth ``D``, this path
+is the label ``μ(δ, D)`` — the ``#0`` root prefix followed by the first
+``D - 1`` bits of ``δ``'s binary expansion — and the leaf containing ``δ``
+must be one of ``μ``'s prefixes of length 2 … D+1 (the candidate set
+``Γ(δ, D)``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.label import Label
+from repro.errors import DepthExceededError, KeyOutOfRangeError
+
+__all__ = ["key_bits", "mu_path", "gamma_lengths", "label_for_key"]
+
+
+def key_bits(key: float | Fraction, n_bits: int) -> str:
+    """First ``n_bits`` bits of the binary expansion of ``key ∈ [0, 1)``.
+
+    Uses exact integer arithmetic (no float accumulation error) so the bit
+    path agrees exactly with the dyadic intervals of
+    :class:`~repro.core.interval.DyadicInterval`.
+    """
+    if n_bits < 0:
+        raise KeyOutOfRangeError(f"negative bit count: {n_bits}")
+    if isinstance(key, float):
+        # Fast exact path: multiplying a float by a power of two is exact
+        # (the mantissa is unchanged), so truncation yields the true bits.
+        if not 0.0 <= key < 1.0:
+            raise KeyOutOfRangeError(f"data key {key} outside [0, 1)")
+        if n_bits == 0:
+            return ""
+        if n_bits <= 64:
+            return format(int(key * (1 << n_bits)), f"0{n_bits}b")
+    frac = Fraction(key)
+    if not 0 <= frac < 1:
+        raise KeyOutOfRangeError(f"data key {float(key)} outside [0, 1)")
+    if n_bits == 0:
+        return ""
+    scaled = (frac.numerator << n_bits) // frac.denominator
+    return format(scaled, f"0{n_bits}b")
+
+
+def mu_path(key: float | Fraction, max_depth: int) -> Label:
+    """The lookup path ``μ(δ, D)`` (paper §5).
+
+    A label of length ``D + 1`` (the ``#``, the root bit ``0``, then the
+    first ``D - 1`` bits of ``δ``).  Every possible leaf containing ``δ`` in
+    a tree of maximum depth ``D`` is a prefix of this label.
+
+    Example: ``mu_path(0.4, 5)`` is ``#00110``, as in the paper.
+    """
+    if max_depth < 1:
+        raise DepthExceededError(f"maximum depth must be >= 1, got {max_depth}")
+    return Label("0" + key_bits(key, max_depth - 1))
+
+
+def gamma_lengths(max_depth: int) -> range:
+    """Candidate label lengths of ``Γ(δ, D)``: 2 … D+1 (paper §5)."""
+    return range(2, max_depth + 2)
+
+
+def label_for_key(key: float | Fraction, depth: int) -> Label:
+    """The unique depth-``depth`` tree label whose interval contains ``key``.
+
+    ``depth`` is counted in bits (the regular root has depth 1), so the
+    result has paper-length ``depth + 1``.
+    """
+    if depth < 1:
+        raise DepthExceededError(f"label depth must be >= 1, got {depth}")
+    return Label("0" + key_bits(key, depth - 1))

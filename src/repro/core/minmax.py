@@ -1,0 +1,80 @@
+"""Min/max queries (paper §7, Theorem 3).
+
+The naming function places the leftmost leaf (label ``#00*``) under DHT
+key ``#`` and the rightmost leaf (``#01*``) under ``#0``, so the global
+minimum and maximum keys are each one DHT-lookup away — regardless of the
+tree's size or shape.
+
+Two practical extensions beyond the paper's statement:
+
+* a single-leaf tree has its only leaf ``#0`` stored under ``#``, so a max
+  query's lookup of ``#0`` fails and is repaired with one lookup of ``#``;
+* when deletions leave the extreme bucket empty, the query walks inward
+  across neighboring trees (one lookup each) until it finds a record.
+"""
+
+from __future__ import annotations
+
+from repro.core.bucket import LeafBucket
+from repro.core.config import IndexConfig
+from repro.core.label import Label, ROOT, VIRTUAL_ROOT
+from repro.core.naming import left_neighbor, naming, right_neighbor
+from repro.core.results import MinMaxResult
+from repro.dht.base import DHT
+from repro.errors import LookupError_
+
+__all__ = ["min_query", "max_query"]
+
+
+def min_query(dht: DHT, config: IndexConfig) -> MinMaxResult:
+    """Return the record with the smallest key (1 DHT-lookup, Theorem 3)."""
+    bucket = dht.get(str(VIRTUAL_ROOT))
+    lookups = 1
+    if bucket is None:
+        raise LookupError_("no leaf stored under '#': index not bootstrapped")
+    return _scan(dht, config, bucket, lookups, want_min=True)
+
+
+def max_query(dht: DHT, config: IndexConfig) -> MinMaxResult:
+    """Return the record with the largest key (1 DHT-lookup, Theorem 3)."""
+    bucket = dht.get(str(ROOT))
+    lookups = 1
+    if bucket is None:
+        # Single-leaf tree: the only leaf #0 lives under f_n(#0) = '#'.
+        bucket = dht.get(str(VIRTUAL_ROOT))
+        lookups += 1
+        if bucket is None:
+            raise LookupError_("no leaf stored under '#': index not bootstrapped")
+    return _scan(dht, config, bucket, lookups, want_min=False)
+
+
+def _scan(
+    dht: DHT,
+    config: IndexConfig,
+    bucket: LeafBucket,
+    lookups: int,
+    want_min: bool,
+) -> MinMaxResult:
+    """Walk inward from an extreme bucket until a record is found."""
+    for _ in range(2 ** config.max_depth):  # hard bound: one step per leaf
+        record = bucket.min_record() if want_min else bucket.max_record()
+        if record is not None:
+            return MinMaxResult(record, lookups)
+        label = bucket.label
+        at_edge = (
+            label.on_rightmost_spine if want_min else label.on_leftmost_spine
+        )
+        if at_edge:
+            return MinMaxResult(None, lookups)  # the index is entirely empty
+        beta = right_neighbor(label) if want_min else left_neighbor(label)
+        # The near-edge leaf of the neighboring tree is stored under β
+        # itself; if β is a leaf, repair via f_n(β) (cf. Alg. 3).
+        nxt = dht.get(str(beta))
+        lookups += 1
+        if nxt is None:
+            nxt = dht.get(str(naming(beta)))
+            lookups += 1
+            if nxt is None:
+                raise LookupError_(f"cannot reach neighboring tree {beta}")
+        bucket = nxt
+    raise LookupError_("min/max scan did not terminate")

@@ -1,0 +1,265 @@
+"""Range queries over LHT (paper §6, Algorithms 3 and 4).
+
+A range query ``[l, u)`` is answered by sweeping the leaves that overlap
+the range, using only the *local tree* each leaf can infer from its own
+label (§3.3) — no maintained leaf links, unlike PHT.
+
+**Simple case** (Alg. 3): the current bucket contains one bound of its
+subrange.  The bucket locally enumerates its neighboring subtrees via the
+right/left-neighbor functions ``f_rn``/``f_ln``; each subtree fully inside
+the range is handed (one DHT-lookup of ``f_n(β)``, which cannot fail) to
+its extreme leaf, which recursively sweeps back *into* the subtree; the
+final, partially overlapped subtree ``β_k`` is handed to its near-edge
+leaf via a DHT-lookup of ``β_k`` itself — the single lookup per sweep that
+can fail (when ``β_k`` happens to be a leaf), repaired by one extra lookup
+of ``f_n(β_k)``.
+
+**General case** (Alg. 4): the initiator computes the range's lowest
+common ancestor ``LCA`` locally and probes ``f_n(LCA)``:
+
+* failed get — the whole range lies in a single leaf: degenerate to an
+  LHT-lookup of ``l``;
+* returned bucket overlaps the range — it must contain a bound (it is the
+  extreme leaf of a subtree enclosing the range): simple case;
+* no overlap — fork to the leaves named ``LCA0`` and ``LCA1``, which
+  contain the range's split point from either side; each side is a simple
+  case.  (If one of those children is itself a leaf, the pseudocode's
+  lookup fails; we repair with one ``f_n(child)`` lookup, which the
+  paper's cost bound absorbs in its "+3".)
+
+All forwards issued by one bucket go out *in parallel*; latency is
+measured as the longest chain of sequential DHT-lookups
+(``parallel_steps``), the paper's §9.4 metric.  Bandwidth is the total
+DHT-lookup count — at most ``B + 3`` for ``B`` result buckets (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bucket import LeafBucket, Record
+from repro.core.config import IndexConfig
+from repro.core.interval import Range
+from repro.core.label import Label, ROOT
+from repro.core.lookup import lht_lookup
+from repro.core.naming import left_neighbor, naming, right_neighbor
+from repro.core.results import RangeQueryResult
+from repro.dht.base import DHT
+from repro.errors import LookupError_
+
+__all__ = ["compute_lca", "RangeQueryExecutor"]
+
+
+def compute_lca(rng: Range, max_depth: int) -> Label:
+    """The deepest tree label whose interval contains the whole range.
+
+    This is the ``computeLCA`` of Alg. 4 line 1 — computed locally from
+    the range bounds alone, by descending from the root while one half
+    still contains the range (exact dyadic arithmetic, no probing).
+    """
+    label = ROOT
+    while label.depth < max_depth:
+        mid = label.interval.midpoint
+        if rng.hi <= mid:
+            label = label.left_child
+        elif rng.lo >= mid:
+            label = label.right_child
+        else:
+            break
+    return label
+
+
+@dataclass(slots=True)
+class _QueryState:
+    """Mutable accounting shared by one query execution."""
+
+    records: list[Record] = field(default_factory=list)
+    visited: set[Label] = field(default_factory=set)
+    dht_lookups: int = 0
+    failed_lookups: int = 0
+    max_step: int = 0
+    collect_calls: int = 0  # diagnostics: equals len(visited) iff the
+    # range decomposition is truly disjoint (asserted in tests)
+
+
+class RangeQueryExecutor:
+    """Executes LHT range queries over a DHT (Algs. 3-4)."""
+
+    def __init__(self, dht: DHT, config: IndexConfig) -> None:
+        self._dht = dht
+        self._config = config
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def run(self, rng: Range) -> RangeQueryResult:
+        """Answer the range query ``[rng.lo, rng.hi)``."""
+        state = _QueryState()
+        if not rng.is_empty:
+            self._general_forward(rng, state)
+        state.records.sort()
+        return RangeQueryResult(
+            records=tuple(state.records),
+            dht_lookups=state.dht_lookups,
+            failed_lookups=state.failed_lookups,
+            parallel_steps=state.max_step,
+            buckets_visited=len(state.visited),
+            collect_calls=state.collect_calls,
+        )
+
+    # ------------------------------------------------------------------
+    # General case (Alg. 4)
+    # ------------------------------------------------------------------
+
+    def _general_forward(self, rng: Range, state: _QueryState) -> None:
+        lca = compute_lca(rng, self._config.max_depth)
+        bucket = self._get(naming(lca), 1, state)
+
+        if bucket is None:
+            # Case 1: no internal node f_n(LCA) — the whole range lies in
+            # one leaf at or above it.  Degenerate to an exact-match-style
+            # lookup of the lower bound.
+            result = lht_lookup(self._dht, self._config, float(rng.lo))
+            state.dht_lookups += result.dht_lookups
+            state.max_step = max(state.max_step, 1 + result.dht_lookups)
+            if result.bucket is None:
+                raise LookupError_(f"range {rng}: degenerate lookup failed")
+            self._collect(result.bucket, rng, state)
+            return
+
+        if bucket.label.interval.overlaps(rng):
+            # Case 2: the returned extreme leaf contains one range bound.
+            self._simple_case(bucket, rng, 1, state)
+            return
+
+        # Case 3: the range straddles LCA's midpoint but the extreme leaf
+        # lies outside it — fork to both children (issued in parallel).
+        mid = lca.interval.midpoint
+        for child, sub in (
+            (lca.left_child, Range(rng.lo, min(mid, rng.hi))),
+            (lca.right_child, Range(max(mid, rng.lo), rng.hi)),
+        ):
+            if sub.is_empty:
+                continue
+            child_bucket = self._get(child, 2, state)
+            if child_bucket is None:
+                # The child is itself a leaf; its bucket lives under
+                # f_n(child) and covers the whole sub-range.
+                repaired = self._get(naming(child), 3, state)
+                if repaired is None:
+                    raise LookupError_(f"range {rng}: cannot reach child {child}")
+                self._collect(repaired, sub, state)
+            else:
+                self._simple_case(child_bucket, sub, 2, state)
+
+    # ------------------------------------------------------------------
+    # Simple case (Alg. 3)
+    # ------------------------------------------------------------------
+
+    def _simple_case(
+        self, bucket: LeafBucket, rng: Range, step: int, state: _QueryState
+    ) -> None:
+        """Collect from ``bucket`` and sweep across its neighboring trees.
+
+        Precondition (the paper's "simple case"): ``bucket`` contains one
+        bound of ``rng``.
+        """
+        if rng.is_empty:
+            return
+        self._collect(bucket, rng, state)
+        interval = bucket.label.interval
+        if interval.low <= rng.lo and rng.hi <= interval.high:
+            return  # the bucket covers the whole (sub)range
+        if interval.low <= rng.lo:
+            self._sweep(bucket, rng, step, state, rightwards=True)
+        elif interval.low < rng.hi <= interval.high:
+            self._sweep(bucket, rng, step, state, rightwards=False)
+        else:
+            raise LookupError_(
+                f"simple-case invariant violated: {bucket.label} vs {rng}"
+            )
+
+    def _sweep(
+        self,
+        bucket: LeafBucket,
+        rng: Range,
+        step: int,
+        state: _QueryState,
+        rightwards: bool,
+    ) -> None:
+        """Forward the query across successive neighboring subtrees.
+
+        All forwards go out in parallel from this bucket (it infers every
+        branch node locally from its label), so each lands at
+        ``step + 1``; recursion into a subtree deepens the chain.
+        """
+        beta = bucket.label
+        while True:
+            if rightwards:
+                if beta.on_rightmost_spine:
+                    return
+                beta = right_neighbor(beta)
+                inv = beta.interval
+                if inv.low >= rng.hi:
+                    return
+                contained = inv.high <= rng.hi
+            else:
+                if beta.on_leftmost_spine:
+                    return
+                beta = left_neighbor(beta)
+                inv = beta.interval
+                if inv.high <= rng.lo:
+                    return
+                contained = inv.low >= rng.lo
+
+            if contained:
+                # The whole neighboring tree lies in range: hand its own
+                # interval to its extreme leaf, stored under f_n(β).
+                # This lookup cannot fail (Theorem 1 names some leaf f_n(β)
+                # whether β is internal or a leaf itself).
+                neighbor = self._get(naming(beta), step + 1, state)
+                if neighbor is None:
+                    raise LookupError_(f"no leaf named f_n({beta})")
+                self._simple_case(neighbor, inv.to_range(), step + 1, state)
+                boundary_hit = (
+                    inv.high == rng.hi if rightwards else inv.low == rng.lo
+                )
+                if boundary_hit:
+                    return
+            else:
+                # β_k: the final subtree, containing the far bound strictly
+                # inside.  Its near-edge leaf is stored under β itself —
+                # the one lookup per sweep that can fail (β may be a leaf).
+                sub = (
+                    Range(inv.low, rng.hi) if rightwards else Range(rng.lo, inv.high)
+                )
+                neighbor = self._get(beta, step + 1, state)
+                if neighbor is None:
+                    repaired = self._get(naming(beta), step + 2, state)
+                    if repaired is None:
+                        raise LookupError_(f"cannot reach subtree {beta}")
+                    self._collect(repaired, sub, state)
+                else:
+                    self._simple_case(neighbor, sub, step + 1, state)
+                return
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _get(self, key: Label, step: int, state: _QueryState) -> LeafBucket | None:
+        bucket = self._dht.get(str(key))
+        state.dht_lookups += 1
+        state.max_step = max(state.max_step, step)
+        if bucket is None:
+            state.failed_lookups += 1
+        return bucket
+
+    @staticmethod
+    def _collect(bucket: LeafBucket, rng: Range, state: _QueryState) -> None:
+        state.collect_calls += 1
+        if bucket.label in state.visited:
+            return
+        state.visited.add(bucket.label)
+        state.records.extend(bucket.records_in(rng))

@@ -1,0 +1,135 @@
+"""Ordered traversal and k-nearest-key queries (extensions).
+
+Both ride on the same machinery as range queries: from any leaf, the
+neighbor functions locate the adjacent leaf with one DHT-lookup (plus the
+usual one-lookup repair when the branch node happens to be a leaf), so
+
+* :func:`scan_buckets` / :func:`scan_records` stream the whole index in
+  key order starting from the leftmost leaf (stored under ``#``), and
+* :func:`knn_query` finds the ``k`` stored keys nearest to a probe key
+  by expanding outward from its covering leaf, stopping once both
+  frontiers are provably farther than the current ``k``-th best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.bucket import LeafBucket, Record
+from repro.core.config import IndexConfig
+from repro.core.label import Label, VIRTUAL_ROOT
+from repro.core.lookup import lht_lookup
+from repro.core.naming import left_neighbor, naming, right_neighbor
+from repro.dht.base import DHT
+from repro.errors import LookupError_
+
+__all__ = ["scan_buckets", "scan_records", "knn_query", "KnnResult"]
+
+
+def _fetch_adjacent(
+    dht: DHT, label: Label, rightwards: bool
+) -> tuple[LeafBucket | None, int]:
+    """The leaf adjacent to ``label``; returns (bucket, lookups used).
+
+    ``None`` when ``label`` touches the data-space edge in that direction.
+    """
+    at_edge = label.on_rightmost_spine if rightwards else label.on_leftmost_spine
+    if at_edge:
+        return None, 0
+    beta = right_neighbor(label) if rightwards else left_neighbor(label)
+    # The near-edge leaf of the neighboring tree is stored under β; if β
+    # is itself a leaf, repair via f_n(β) (same pattern as Alg. 3).
+    bucket = dht.get(str(beta))
+    lookups = 1
+    if bucket is None:
+        bucket = dht.get(str(naming(beta)))
+        lookups += 1
+        if bucket is None:
+            raise LookupError_(f"cannot reach neighboring tree {beta}")
+    return bucket, lookups
+
+
+def scan_buckets(dht: DHT, config: IndexConfig) -> Iterator[LeafBucket]:
+    """Yield every leaf bucket in left-to-right key order.
+
+    Costs one DHT-lookup per leaf (the per-step repair adds at most one),
+    beginning with the leftmost leaf under ``#``.
+    """
+    bucket = dht.get(str(VIRTUAL_ROOT))
+    if bucket is None:
+        raise LookupError_("no leaf stored under '#': index not bootstrapped")
+    while True:
+        yield bucket
+        nxt, _ = _fetch_adjacent(dht, bucket.label, rightwards=True)
+        if nxt is None:
+            return
+        bucket = nxt
+
+
+def scan_records(dht: DHT, config: IndexConfig) -> Iterator[Record]:
+    """Yield every record in ascending key order."""
+    for bucket in scan_buckets(dht, config):
+        yield from bucket
+
+
+@dataclass(frozen=True, slots=True)
+class KnnResult:
+    """Outcome of a k-nearest-key query."""
+
+    records: tuple[Record, ...]
+    dht_lookups: int
+
+
+def knn_query(dht: DHT, config: IndexConfig, key: float, k: int) -> KnnResult:
+    """The ``k`` stored records whose keys are nearest to ``key``.
+
+    Expansion is cost-optimal in leaves: starting from the covering leaf
+    (one LHT-lookup), the query alternately extends whichever frontier is
+    closer to the probe, and stops when the ``k``-th best distance beats
+    both frontiers — so it touches only leaves that could contribute.
+    """
+    if k < 1:
+        raise LookupError_(f"k must be >= 1: {k}")
+    start = lht_lookup(dht, config, key)
+    if start.bucket is None:
+        raise LookupError_(f"lookup of {key} failed to converge")
+    lookups = start.dht_lookups
+
+    candidates: list[Record] = list(start.bucket.records)
+    left_label = right_label = start.bucket.label
+    left_open = not left_label.on_leftmost_spine
+    right_open = not right_label.on_rightmost_spine
+
+    def kth_distance() -> float:
+        if len(candidates) < k:
+            return float("inf")
+        distances = sorted(abs(r.key - key) for r in candidates)
+        return distances[k - 1]
+
+    while left_open or right_open:
+        left_gap = (
+            key - left_label.interval.low_float if left_open else float("inf")
+        )
+        right_gap = (
+            right_label.interval.high_float - key if right_open else float("inf")
+        )
+        best_gap = min(left_gap, right_gap)
+        if best_gap >= kth_distance():
+            break  # no unexplored leaf can beat the current k-th best
+        go_left = left_gap <= right_gap
+        frontier = left_label if go_left else right_label
+        bucket, used = _fetch_adjacent(dht, frontier, rightwards=not go_left)
+        lookups += used
+        if bucket is None:  # defensive; _open flags should prevent this
+            break
+        candidates.extend(bucket.records)
+        if go_left:
+            left_label = bucket.label
+            left_open = not left_label.on_leftmost_spine
+        else:
+            right_label = bucket.label
+            right_open = not right_label.on_rightmost_spine
+
+    candidates.sort(key=lambda r: (abs(r.key - key), r.key))
+    return KnnResult(tuple(candidates[:k]), lookups)

@@ -1,0 +1,82 @@
+"""Wire-format serialization for index values (deployment realism).
+
+The simulated substrates store Python objects directly, but a deployed
+over-DHT index ships its buckets as bytes.  These functions define that
+wire format — plain JSON-compatible dicts — and are exercised by the
+test suite with roundtrip properties, so the in-memory structures never
+drift away from something actually serializable.
+
+Payload values must themselves be JSON-compatible for :func:`dumps`; the
+dict-level functions accept arbitrary Python payloads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.bucket import LeafBucket, Record
+from repro.core.label import Label
+from repro.errors import ReproError
+
+__all__ = [
+    "record_to_dict",
+    "record_from_dict",
+    "bucket_to_dict",
+    "bucket_from_dict",
+    "dumps",
+    "loads",
+]
+
+_FORMAT_VERSION = 1
+
+
+def record_to_dict(record: Record) -> dict[str, Any]:
+    """Encode one record."""
+    return {"key": record.key, "value": record.value}
+
+
+def record_from_dict(data: dict[str, Any]) -> Record:
+    """Decode one record (validates the key range)."""
+    try:
+        return Record(float(data["key"]), data.get("value"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed record payload: {data!r}") from exc
+
+
+def bucket_to_dict(bucket: LeafBucket) -> dict[str, Any]:
+    """Encode a leaf bucket: the label plus the record store."""
+    return {
+        "format": _FORMAT_VERSION,
+        "label": str(bucket.label),
+        "records": [record_to_dict(r) for r in bucket],
+    }
+
+
+def bucket_from_dict(data: dict[str, Any]) -> LeafBucket:
+    """Decode a leaf bucket; rejects unknown format versions."""
+    try:
+        version = data["format"]
+        if version != _FORMAT_VERSION:
+            raise ReproError(f"unsupported bucket format version {version}")
+        label = Label.parse(data["label"])
+        records = [record_from_dict(r) for r in data["records"]]
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed bucket payload: {data!r}") from exc
+    return LeafBucket(label, records)
+
+
+def dumps(bucket: LeafBucket) -> bytes:
+    """Serialize a bucket to canonical JSON bytes."""
+    return json.dumps(
+        bucket_to_dict(bucket), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def loads(payload: bytes) -> LeafBucket:
+    """Deserialize a bucket from JSON bytes."""
+    try:
+        data = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ReproError("bucket payload is not valid JSON") from exc
+    return bucket_from_dict(data)

@@ -1,0 +1,115 @@
+"""Index introspection and integrity verification.
+
+:class:`IndexInspector` reads the whole distributed state through the
+DHT's oracle interface (``peek``/``keys`` — no lookup cost) and checks
+exactly the invariants the paper's correctness rests on: every bucket is
+stored under ``f_n`` of its label (Theorem 1's placement), and the leaf
+intervals tile ``[0, 1)``.  Tests run it after every mutation sequence;
+experiments use it for structural statistics (depth histogram, storage
+balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bucket import LeafBucket
+from repro.core.label import Label
+from repro.core.naming import naming
+from repro.dht.base import DHT
+from repro.errors import ReproError
+
+__all__ = ["IndexStats", "IndexInspector"]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Structural statistics of a distributed LHT."""
+
+    n_leaves: int
+    n_records: int
+    min_depth: int
+    max_depth: int
+    mean_depth: float
+    depth_histogram: dict[int, int]
+
+
+class IndexInspector:
+    """Oracle-level reader and verifier of a distributed LHT's state."""
+
+    def __init__(self, dht: DHT) -> None:
+        self._dht = dht
+
+    def buckets(self) -> dict[Label, LeafBucket]:
+        """All leaf buckets, keyed by their *storage* label (the DHT key)."""
+        out: dict[Label, LeafBucket] = {}
+        for key in self._dht.keys():
+            value = self._dht.peek(key)
+            if isinstance(value, LeafBucket):
+                out[Label.parse(key)] = value
+        return out
+
+    def stats(self) -> IndexStats:
+        """Compute structural statistics."""
+        buckets = list(self.buckets().values())
+        depths = [b.label.depth for b in buckets]
+        histogram: dict[int, int] = {}
+        for d in depths:
+            histogram[d] = histogram.get(d, 0) + 1
+        return IndexStats(
+            n_leaves=len(buckets),
+            n_records=sum(len(b) for b in buckets),
+            min_depth=min(depths),
+            max_depth=max(depths),
+            mean_depth=sum(depths) / len(depths),
+            depth_histogram=dict(sorted(histogram.items())),
+        )
+
+    def all_keys(self) -> list[float]:
+        """Every stored record key, sorted (oracle answer for tests)."""
+        return sorted(
+            record.key
+            for bucket in self.buckets().values()
+            for record in bucket
+        )
+
+    def verify(self) -> None:
+        """Assert the distributed state is consistent; raise otherwise.
+
+        Checks:
+        1. every bucket is stored under DHT key ``f_n(label)``;
+        2. storage keys are unique per bucket (Theorem 1 bijection);
+        3. leaf intervals tile ``[0, 1)`` exactly;
+        4. every record lies inside its leaf's interval.
+        """
+        buckets = self.buckets()
+        if not buckets:
+            raise ReproError("no leaf buckets stored")
+
+        for storage_label, bucket in buckets.items():
+            if naming(bucket.label) != storage_label:
+                raise ReproError(
+                    f"bucket {bucket.label} stored under {storage_label}, "
+                    f"expected f_n = {naming(bucket.label)}"
+                )
+            for record in bucket:
+                if not bucket.label.contains(record.key):
+                    raise ReproError(
+                        f"record {record.key} outside leaf {bucket.label}"
+                    )
+
+        leaves = sorted(
+            (b.label for b in buckets.values()),
+            key=lambda lab: (lab.interval.low, lab.depth),
+        )
+        if len(set(leaves)) != len(leaves):
+            raise ReproError("duplicate leaf labels stored")
+        cursor = leaves[0].interval.low
+        if cursor != 0:
+            raise ReproError("leftmost leaf does not start at 0")
+        for leaf in leaves:
+            if leaf.interval.low != cursor:
+                raise ReproError(f"gap or overlap before leaf {leaf}")
+            cursor = leaf.interval.high
+        if cursor != 1:
+            raise ReproError("rightmost leaf does not end at 1")

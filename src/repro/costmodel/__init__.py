@@ -1,0 +1,11 @@
+"""The paper's linear bandwidth cost model (§8)."""
+
+from repro.costmodel.model import (
+    LinearCostModel,
+    gamma,
+    psi_lht,
+    psi_pht,
+    saving_ratio,
+)
+
+__all__ = ["LinearCostModel", "gamma", "psi_lht", "psi_pht", "saving_ratio"]

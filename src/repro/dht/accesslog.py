@@ -1,0 +1,85 @@
+"""Access-logging wrapper: per-key and per-peer traffic accounting.
+
+Over-DHT indexes concentrate traffic on structurally important keys —
+every min query hits ``#``, every lookup's first probe hits a mid-depth
+name class — so *query* load can be skewed even when *storage* load is
+uniform.  This wrapper records every routed operation per DHT key (and
+the responsible peer), feeding the hot-spot experiment (E21).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable
+
+from repro.dht.base import DHT
+
+__all__ = ["AccessLoggingDHT"]
+
+
+class AccessLoggingDHT(DHT):
+    """Wrap a substrate, counting routed operations per key."""
+
+    def __init__(self, inner: DHT) -> None:
+        super().__init__(inner.metrics)
+        self.inner = inner
+        self.key_accesses: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        self.key_accesses[key] += 1
+        self.inner.put(key, value)
+
+    def get(self, key: str) -> Any | None:
+        self.key_accesses[key] += 1
+        return self.inner.get(key)
+
+    def remove(self, key: str) -> Any | None:
+        self.key_accesses[key] += 1
+        return self.inner.remove(key)
+
+    def local_write(self, key: str, value: Any) -> None:
+        self.inner.local_write(key, value)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def hottest_keys(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` most-accessed DHT keys with their counts."""
+        return self.key_accesses.most_common(n)
+
+    def peer_accesses(self) -> dict[int, int]:
+        """Routed operations aggregated by responsible peer."""
+        loads: dict[int, int] = {}
+        for key, count in self.key_accesses.items():
+            peer = self.inner.peer_of(key)
+            loads[peer] = loads.get(peer, 0) + count
+        return loads
+
+    def reset_log(self) -> None:
+        """Clear the access counters (e.g. after the build phase)."""
+        self.key_accesses.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection (delegated)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        return self.inner.peek(key)
+
+    def keys(self) -> Iterable[str]:
+        return self.inner.keys()
+
+    def peer_of(self, key: str) -> int:
+        return self.inner.peer_of(key)
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.inner.peer_loads()
+
+    @property
+    def n_peers(self) -> int:
+        return self.inner.n_peers

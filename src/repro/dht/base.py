@@ -1,0 +1,101 @@
+"""Abstract DHT interface (the paper's "generic put/get DHT", §2).
+
+LHT is an *over-DHT* index: it relies only on ``put``/``get``/``remove``
+keyed by strings, so any substrate implementing :class:`DHT` works
+unchanged.  Every routed operation counts as exactly one *DHT-lookup* —
+the paper's bandwidth unit — and substrates additionally report how many
+physical overlay hops the routing took.
+
+Substrates in this package:
+
+* :class:`~repro.dht.local.LocalDHT` — hash-partitioned in-memory store
+  with a synthetic ``O(log N)`` hop model; the fast backend for large
+  experiments.
+* :class:`~repro.dht.chord.ChordDHT` — full Chord ring.
+* :class:`~repro.dht.kademlia.KademliaDHT` — Kademlia XOR routing.
+* :class:`~repro.dht.pastry.PastryDHT` — Pastry prefix routing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable
+
+from repro.dht.metrics import MetricsRecorder
+
+__all__ = ["DHT"]
+
+
+class DHT(abc.ABC):
+    """A distributed hash table exposing the generic put/get interface.
+
+    All concrete substrates share a :class:`MetricsRecorder`; index layers
+    read per-operation costs from it via snapshots.
+    """
+
+    def __init__(self, metrics: MetricsRecorder | None = None) -> None:
+        self.metrics = metrics or MetricsRecorder()
+
+    # ------------------------------------------------------------------
+    # Core interface (each call is one DHT-lookup)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` at the peer responsible for ``hash(key)``."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Any | None:
+        """Fetch the value stored under ``key``, or ``None`` (a *failed*
+        DHT-get, which the LHT lookup algorithm uses as a signal)."""
+
+    @abc.abstractmethod
+    def remove(self, key: str) -> Any | None:
+        """Delete and return the value under ``key``, or ``None``."""
+
+    # ------------------------------------------------------------------
+    # Local persistence (free of lookup cost)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def local_write(self, key: str, value: Any) -> None:
+        """Persist a value the *holding peer* just mutated, without
+        routing.
+
+        This models Alg. 1's "write ``b`` back to the local disk": after
+        a split (or an in-bucket insert/delete) the peer already holds
+        the object and rewrites it locally — no overlay traffic, hence
+        no DHT-lookup is charged.  Object-store backends are free to
+        treat this as a no-op when values are shared by reference;
+        byte-store backends (:class:`~repro.dht.serializing.SerializingDHT`)
+        re-encode here, which is what keeps the index correct without
+        relying on in-process aliasing.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection (free of lookup cost; used by tests and experiments)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def peek(self, key: str) -> Any | None:
+        """Read a value without routing (oracle access for tests)."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterable[str]:
+        """All stored keys (oracle access for tests)."""
+
+    @abc.abstractmethod
+    def peer_of(self, key: str) -> int:
+        """Identifier of the peer currently responsible for ``key``."""
+
+    @abc.abstractmethod
+    def peer_loads(self) -> dict[int, int]:
+        """Number of stored keys per peer (for load-balance studies)."""
+
+    @property
+    @abc.abstractmethod
+    def n_peers(self) -> int:
+        """Number of live peers in the overlay."""
+
+    def __contains__(self, key: str) -> bool:
+        return self.peek(key) is not None

@@ -1,0 +1,374 @@
+"""CAN DHT substrate (Ratnasamy et al., SIGCOMM 2001).
+
+The Content-Addressable Network is the paper's §1 example of a
+non-ring DHT: the identifier space is a ``d``-dimensional unit torus,
+each node owns a hyper-rectangular *zone*, and keys hash to points.
+Joins split the zone owning a random point in half (cycling through
+dimensions); routing greedily forwards to the neighbor zone closest to
+the target point, giving ``O(d · n^{1/d})`` hops.
+
+Zone bounds are halved on split, so every coordinate is a dyadic float —
+exact, like the LHT tree geometry.  Graceful departure uses CAN's *buddy
+merge*: a node may leave when its zone's split partner is whole (the two
+halves reunite); otherwise the caller must retry later (real CAN runs a
+takeover protocol that leaves a node managing two zones — out of scope
+here, and irrelevant to the index layers above).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.dht.metrics import MetricsRecorder
+from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
+
+__all__ = ["CANDHT", "CANNode", "Zone"]
+
+
+@dataclass(frozen=True, slots=True)
+class Zone:
+    """A half-open hyper-rectangle ``[lows, highs)`` of the unit torus."""
+
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+
+    @property
+    def dims(self) -> int:
+        return len(self.lows)
+
+    def contains(self, point: tuple[float, ...]) -> bool:
+        return all(
+            lo <= c < hi for c, lo, hi in zip(point, self.lows, self.highs)
+        )
+
+    def volume(self) -> float:
+        out = 1.0
+        for lo, hi in zip(self.lows, self.highs):
+            out *= hi - lo
+        return out
+
+    def split(self, dim: int) -> tuple["Zone", "Zone"]:
+        """Halve along ``dim``; returns (lower half, upper half)."""
+        mid = (self.lows[dim] + self.highs[dim]) / 2.0
+        lower = Zone(
+            self.lows,
+            tuple(mid if i == dim else h for i, h in enumerate(self.highs)),
+        )
+        upper = Zone(
+            tuple(mid if i == dim else lo for i, lo in enumerate(self.lows)),
+            self.highs,
+        )
+        return lower, upper
+
+    def distance_to(self, point: tuple[float, ...]) -> float:
+        """Squared torus distance from ``point`` to this zone."""
+        total = 0.0
+        for c, lo, hi in zip(point, self.lows, self.highs):
+            if lo <= c < hi:
+                continue
+            # distance to the nearer edge, allowing wraparound
+            direct = min(abs(c - lo), abs(c - hi))
+            wrapped = min(abs(c - lo + 1), abs(c - hi - 1),
+                          abs(c - lo - 1), abs(c - hi + 1))
+            gap = min(direct, wrapped)
+            total += gap * gap
+        return total
+
+    def adjacent(self, other: "Zone") -> bool:
+        """Whether two zones share a (d-1)-dimensional face on the torus."""
+        touching_dims = 0
+        for lo_a, hi_a, lo_b, hi_b in zip(
+            self.lows, self.highs, other.lows, other.highs
+        ):
+            overlaps = lo_a < hi_b and lo_b < hi_a
+            touches = (
+                hi_a == lo_b
+                or hi_b == lo_a
+                or (hi_a == 1.0 and lo_b == 0.0)
+                or (hi_b == 1.0 and lo_a == 0.0)
+            )
+            if overlaps:
+                continue
+            if touches:
+                touching_dims += 1
+            else:
+                return False
+        return touching_dims == 1
+
+
+@dataclass
+class CANNode:
+    """One CAN peer: identifier, owned zone, neighbor set, key store."""
+
+    id: int
+    zone: Zone
+    neighbors: set[int] = field(default_factory=set)
+    store: dict[str, Any] = field(default_factory=dict)
+    next_split_dim: int = 0
+
+
+class CANDHT(DHT):
+    """A simulated CAN overlay implementing the generic DHT interface."""
+
+    MAX_ROUTE_HOPS = 512
+
+    def __init__(
+        self,
+        n_peers: int = 64,
+        seed: int = 0,
+        dims: int = 2,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        super().__init__(metrics)
+        if n_peers < 1:
+            raise ConfigurationError(f"n_peers must be >= 1: {n_peers}")
+        if dims < 1:
+            raise ConfigurationError(f"dims must be >= 1: {dims}")
+        self.dims = dims
+        self._rng = np.random.default_rng(seed)
+        self._next_id = 0
+        first = CANNode(
+            id=self._take_id(),
+            zone=Zone((0.0,) * dims, (1.0,) * dims),
+        )
+        self._nodes: dict[int, CANNode] = {first.id: first}
+        self.keys_transferred = 0
+        for _ in range(n_peers - 1):
+            self.join()
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id - 1
+
+    # ------------------------------------------------------------------
+    # Key → point mapping
+    # ------------------------------------------------------------------
+
+    def key_point(self, key: str) -> tuple[float, ...]:
+        """Hash a key to a point on the ``d``-torus."""
+        digest = hashlib.sha1(key.encode()).digest()
+        coords = []
+        for d in range(self.dims):
+            chunk = digest[4 * d : 4 * d + 4]
+            coords.append(int.from_bytes(chunk, "big") / 2**32)
+        return tuple(coords)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, start: int, point: tuple[float, ...]) -> tuple[int, int]:
+        """Greedy-forward from ``start`` to the zone owning ``point``."""
+        current = start
+        hops = 0
+        for _ in range(self.MAX_ROUTE_HOPS):
+            node = self._nodes[current]
+            if node.zone.contains(point):
+                return current, hops
+            best = None
+            best_distance = node.zone.distance_to(point)
+            for neighbor_id in node.neighbors:
+                neighbor = self._nodes.get(neighbor_id)
+                if neighbor is None:
+                    continue
+                distance = neighbor.zone.distance_to(point)
+                if best is None or distance < best_distance:
+                    best = neighbor_id
+                    best_distance = distance
+            if best is None:
+                raise RoutingError(
+                    f"CAN greedy routing stalled at node {current}"
+                )
+            current = best
+            hops += 1
+        raise RoutingError(f"CAN routing exceeded {self.MAX_ROUTE_HOPS} hops")
+
+    def _gateway(self) -> int:
+        if not self._nodes:
+            raise EmptyOverlayError("no live peers")
+        ids = sorted(self._nodes)
+        return ids[int(self._rng.integers(0, len(ids)))]
+
+    def _route_key(self, key: str) -> tuple[CANNode, int]:
+        owner, hops = self.route(self._gateway(), self.key_point(key))
+        return self._nodes[owner], max(hops, 1)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _refresh_neighbors(self, around: Iterable[int]) -> None:
+        """Recompute adjacency for the given nodes and their vicinity."""
+        affected = set(around)
+        for node_id in list(affected):
+            affected.update(self._nodes[node_id].neighbors)
+        for node_id in affected:
+            node = self._nodes.get(node_id)
+            if node is None:
+                continue
+            node.neighbors = {
+                other.id
+                for other in self._nodes.values()
+                if other.id != node.id and node.zone.adjacent(other.zone)
+            }
+
+    def join(self) -> int:
+        """A new node joins at a random point, splitting the owner's zone."""
+        point = tuple(float(c) for c in self._rng.random(self.dims))
+        owner_id, _ = self.route(self._gateway(), point)
+        owner = self._nodes[owner_id]
+
+        dim = owner.next_split_dim % self.dims
+        lower, upper = owner.zone.split(dim)
+        # The joiner takes the half containing its join point.
+        if lower.contains(point):
+            give, keep = lower, upper
+        else:
+            give, keep = upper, lower
+
+        joiner = CANNode(
+            id=self._take_id(), zone=give, next_split_dim=dim + 1
+        )
+        owner.zone = keep
+        owner.next_split_dim = dim + 1
+        self._nodes[joiner.id] = joiner
+
+        moved = [
+            key
+            for key in owner.store
+            if give.contains(self.key_point(key))
+        ]
+        for key in moved:
+            joiner.store[key] = owner.store.pop(key)
+        self.keys_transferred += len(moved)
+        self._refresh_neighbors([owner.id, joiner.id])
+        return joiner.id
+
+    def leave(self, node_id: int) -> bool:
+        """Graceful departure via buddy merge.
+
+        Succeeds only when the zone's split partner is currently owned
+        whole by a single node (then the halves reunite and keys move to
+        the buddy); returns ``False`` otherwise.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            return False
+        if len(self._nodes) == 1:
+            raise EmptyOverlayError("cannot remove the last peer")
+        for other in self._nodes.values():
+            if other.id == node_id:
+                continue
+            merged = _try_merge(node.zone, other.zone)
+            if merged is None:
+                continue
+            other.zone = merged
+            other.store.update(node.store)
+            self.keys_transferred += len(node.store)
+            del self._nodes[node_id]
+            self._refresh_neighbors([other.id])
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        node, hops = self._route_key(key)
+        self.metrics.record_put(hops)
+        node.store[key] = value
+
+    def get(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        value = node.store.get(key)
+        self.metrics.record_get(hops, found=value is not None)
+        return value
+
+    def remove(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        self.metrics.record_remove(hops)
+        return node.store.pop(key, None)
+
+    def local_write(self, key: str, value: Any) -> None:
+        for node in self._nodes.values():
+            if key in node.store:
+                node.store[key] = value
+                return
+        self._nodes[self.peer_of(key)].store[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        for node in self._nodes.values():
+            if key in node.store:
+                return node.store[key]
+        return None
+
+    def keys(self) -> Iterable[str]:
+        for node in self._nodes.values():
+            yield from node.store
+
+    def peer_of(self, key: str) -> int:
+        point = self.key_point(key)
+        for node in self._nodes.values():
+            if node.zone.contains(point):
+                return node.id
+        raise RoutingError(f"no zone contains point {point}")
+
+    def peer_loads(self) -> dict[int, int]:
+        return {nid: len(node.store) for nid, node in self._nodes.items()}
+
+    @property
+    def n_peers(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted identifiers of all live nodes."""
+        return sorted(self._nodes)
+
+    def check_partition(self) -> None:
+        """Assert zones tile the whole torus exactly once."""
+        total = sum(node.zone.volume() for node in self._nodes.values())
+        if abs(total - 1.0) > 1e-9:
+            raise RoutingError(f"zone volumes sum to {total}, expected 1")
+        probes = np.random.default_rng(0).random((200, self.dims))
+        for probe in probes:
+            point = tuple(float(c) for c in probe)
+            owners = [
+                n.id for n in self._nodes.values() if n.zone.contains(point)
+            ]
+            if len(owners) != 1:
+                raise RoutingError(
+                    f"point {point} owned by {len(owners)} zones"
+                )
+
+
+def _try_merge(a: Zone, b: Zone) -> Zone | None:
+    """The union of two zones if it is a hyper-rectangle, else ``None``."""
+    differing = [
+        i
+        for i in range(a.dims)
+        if (a.lows[i], a.highs[i]) != (b.lows[i], b.highs[i])
+    ]
+    if len(differing) != 1:
+        return None
+    d = differing[0]
+    if a.highs[d] == b.lows[d]:
+        lo, hi = a, b
+    elif b.highs[d] == a.lows[d]:
+        lo, hi = b, a
+    else:
+        return None
+    return Zone(
+        lo.lows,
+        tuple(hi.highs[i] if i == d else lo.highs[i] for i in range(a.dims)),
+    )

@@ -1,0 +1,400 @@
+"""Chord DHT substrate (Stoica et al., SIGCOMM 2001).
+
+A faithful single-process simulation of the Chord ring the paper's
+"generic DHT" abstracts over: ``m``-bit identifiers, finger tables,
+successor lists, predecessor pointers, iterative routing with
+closest-preceding-finger forwarding, node join/leave with key transfer,
+and the periodic ``stabilize``/``fix_fingers`` protocol that repairs the
+ring under churn.
+
+Routing is executed synchronously (a routed operation returns its result
+and hop count immediately); the *maintenance* protocol is driven either
+manually (:meth:`ChordDHT.stabilize_all`) or by the discrete-event churn
+driver in :mod:`repro.dht.churn`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.dht.hashing import hash_key, in_half_open_interval, in_open_interval
+from repro.dht.metrics import MetricsRecorder
+from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
+
+__all__ = ["ChordDHT", "ChordNode"]
+
+
+@dataclass
+class ChordNode:
+    """One Chord peer: identifier, pointers, finger table, and key store."""
+
+    id: int
+    successors: list[int] = field(default_factory=list)
+    predecessor: int | None = None
+    fingers: list[int | None] = field(default_factory=list)
+    store: dict[str, Any] = field(default_factory=dict)
+    _next_finger: int = 0
+
+    @property
+    def successor(self) -> int | None:
+        """First entry of the successor list (may be stale under churn)."""
+        return self.successors[0] if self.successors else None
+
+
+class ChordDHT(DHT):
+    """A simulated Chord overlay implementing the generic DHT interface.
+
+    Args:
+        n_peers: Initial ring size (peer ids drawn uniformly at random).
+        seed: RNG seed for peer ids and gateway selection.
+        id_bits: Identifier width ``m`` (ring size ``2**m``).
+        successor_list_len: Length of each node's successor list (fault
+            tolerance under churn).
+        metrics: Optional shared recorder.
+
+    The initial ring is built with exact pointers; subsequent joins and
+    leaves go through the real protocol (route-to-successor, key transfer,
+    stabilization).
+    """
+
+    MAX_ROUTE_HOPS = 256
+
+    def __init__(
+        self,
+        n_peers: int = 64,
+        seed: int = 0,
+        id_bits: int = 32,
+        successor_list_len: int = 4,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        super().__init__(metrics)
+        if n_peers < 1:
+            raise ConfigurationError(f"n_peers must be >= 1: {n_peers}")
+        if not 8 <= id_bits <= 160:
+            raise ConfigurationError(f"id_bits must be in [8, 160]: {id_bits}")
+        self.id_bits = id_bits
+        self.space = 1 << id_bits
+        self.successor_list_len = successor_list_len
+        self._rng = np.random.default_rng(seed)
+        self._nodes: dict[int, ChordNode] = {}
+        self.keys_transferred = 0
+        for node_id in self._draw_ids(n_peers):
+            self._nodes[node_id] = ChordNode(id=node_id)
+        self.build_ring()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _draw_ids(self, count: int) -> list[int]:
+        ids: set[int] = set(self._nodes)
+        fresh: list[int] = []
+        while len(fresh) < count:
+            candidate = int(self._rng.integers(0, self.space))
+            if candidate not in ids:
+                ids.add(candidate)
+                fresh.append(candidate)
+        return fresh
+
+    def build_ring(self) -> None:
+        """(Re)compute exact successors, predecessors and fingers globally.
+
+        Used for initial construction and by tests that need a converged
+        ring without running stabilization rounds.
+        """
+        ordered = sorted(self._nodes)
+        n = len(ordered)
+        for idx, node_id in enumerate(ordered):
+            node = self._nodes[node_id]
+            node.successors = [
+                ordered[(idx + k + 1) % n]
+                for k in range(min(self.successor_list_len, n))
+            ]
+            node.predecessor = ordered[(idx - 1) % n]
+            node.fingers = [
+                self._exact_successor(ordered, (node_id + (1 << i)) % self.space)
+                for i in range(self.id_bits)
+            ]
+
+    @staticmethod
+    def _exact_successor(ordered: list[int], target: int) -> int:
+        idx = bisect.bisect_left(ordered, target)
+        return ordered[idx % len(ordered)]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _alive(self, node_id: int | None) -> bool:
+        return node_id is not None and node_id in self._nodes
+
+    def _live_successor(self, node: ChordNode) -> int:
+        """First alive successor-list entry; prunes dead ones."""
+        node.successors = [s for s in node.successors if self._alive(s)]
+        if not node.successors:
+            if len(self._nodes) == 1:
+                return node.id
+            raise RoutingError(f"node {node.id} lost its entire successor list")
+        return node.successors[0]
+
+    def _closest_preceding(self, node: ChordNode, key_id: int) -> int:
+        """Best alive finger strictly between ``node`` and ``key_id``."""
+        for finger in reversed(node.fingers):
+            if (
+                self._alive(finger)
+                and in_open_interval(finger, node.id, key_id, self.space)
+            ):
+                return finger  # type: ignore[return-value]
+        for succ in reversed(node.successors):
+            if self._alive(succ) and in_open_interval(
+                succ, node.id, key_id, self.space
+            ):
+                return succ
+        return node.id
+
+    def find_successor(self, start: int, key_id: int) -> tuple[int, int]:
+        """Iteratively route from ``start`` to the successor of ``key_id``.
+
+        Returns ``(responsible_node_id, hop_count)``.
+        """
+        current = start
+        hops = 0
+        for _ in range(self.MAX_ROUTE_HOPS):
+            node = self._nodes[current]
+            succ = self._live_successor(node)
+            hops += 1
+            if succ == current or in_half_open_interval(
+                key_id, current, succ, self.space
+            ):
+                return succ, hops
+            nxt = self._closest_preceding(node, key_id)
+            current = succ if nxt == current else nxt
+        raise RoutingError(f"routing to {key_id} exceeded {self.MAX_ROUTE_HOPS} hops")
+
+    def _gateway(self) -> int:
+        """A random live node to originate a routed operation from."""
+        if not self._nodes:
+            raise EmptyOverlayError("no live peers")
+        ids = sorted(self._nodes)
+        return ids[int(self._rng.integers(0, len(ids)))]
+
+    def _route_key(self, key: str) -> tuple[ChordNode, int]:
+        kid = hash_key(key, self.id_bits)
+        owner, hops = self.find_successor(self._gateway(), kid)
+        return self._nodes[owner], hops
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        node, hops = self._route_key(key)
+        self.metrics.record_put(hops)
+        node.store[key] = value
+
+    def get(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        value = node.store.get(key)
+        self.metrics.record_get(hops, found=value is not None)
+        return value
+
+    def remove(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        self.metrics.record_remove(hops)
+        return node.store.pop(key, None)
+
+
+    def local_write(self, key: str, value: Any) -> None:
+        for node in self._nodes.values():
+            if key in node.store:
+                node.store[key] = value
+                return
+        self._nodes[self.peer_of(key)].store[key] = value
+
+    # ------------------------------------------------------------------
+    # Membership protocol
+    # ------------------------------------------------------------------
+
+    def join(self, node_id: int | None = None) -> int:
+        """Join a new node through the real protocol; returns its id.
+
+        The joiner routes to its successor, splices in, and takes over the
+        keys it is now responsible for.
+        """
+        if node_id is None:
+            node_id = self._draw_ids(1)[0]
+        if node_id in self._nodes:
+            raise ConfigurationError(f"node id already present: {node_id}")
+        succ_id, _ = self.find_successor(self._gateway(), node_id)
+        succ = self._nodes[succ_id]
+        node = ChordNode(id=node_id)
+        node.successors = ([succ_id] + succ.successors)[: self.successor_list_len]
+        node.fingers = [succ_id] * self.id_bits
+        self._nodes[node_id] = node
+
+        # Take over keys in (predecessor(succ), node_id].
+        pred = succ.predecessor if self._alive(succ.predecessor) else succ_id
+        moved = [
+            k
+            for k in succ.store
+            if in_half_open_interval(
+                hash_key(k, self.id_bits), pred, node_id, self.space
+            )
+        ]
+        for k in moved:
+            node.store[k] = succ.store.pop(k)
+        self.keys_transferred += len(moved)
+
+        # Splice pointers immediately (stabilization would also converge).
+        node.predecessor = pred if pred != succ_id else succ.predecessor
+        succ.predecessor = node_id
+        if self._alive(node.predecessor):
+            pred_node = self._nodes[node.predecessor]  # type: ignore[index]
+            pred_node.successors = ([node_id] + pred_node.successors)[
+                : self.successor_list_len
+            ]
+        return node_id
+
+    def leave(self, node_id: int, graceful: bool = True) -> None:
+        """Remove a node; graceful leaves hand their keys to the successor."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            return
+        if len(self._nodes) == 1:
+            raise EmptyOverlayError("cannot remove the last peer")
+        if graceful:
+            del self._nodes[node_id]  # successor search must skip the leaver
+            succ_id = next((s for s in node.successors if self._alive(s)), None)
+            if succ_id is None:
+                succ_id = self._exact_successor(sorted(self._nodes), node_id)
+            succ = self._nodes[succ_id]
+            succ.store.update(node.store)
+            self.keys_transferred += len(node.store)
+            if self._alive(node.predecessor):
+                pred = self._nodes[node.predecessor]  # type: ignore[index]
+                pred.successors = [s for s in pred.successors if s != node_id]
+                pred.successors = ([succ_id] + pred.successors)[
+                    : self.successor_list_len
+                ]
+            if succ.predecessor == node_id:
+                succ.predecessor = node.predecessor
+        else:
+            # Crash: keys stored there are lost until re-published.
+            del self._nodes[node_id]
+
+    def fail(self, node_id: int) -> None:
+        """Crash a node without key handoff (shorthand for ungraceful leave)."""
+        self.leave(node_id, graceful=False)
+
+    # ------------------------------------------------------------------
+    # Stabilization (Chord's periodic maintenance)
+    # ------------------------------------------------------------------
+
+    def stabilize(self, node_id: int) -> None:
+        """One stabilization round for one node (successor + notify)."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            return
+        succ_id = self._live_successor(node)
+        succ = self._nodes[succ_id]
+        candidate = succ.predecessor
+        if (
+            self._alive(candidate)
+            and candidate != node_id
+            and in_open_interval(candidate, node_id, succ_id, self.space)  # type: ignore[arg-type]
+        ):
+            node.successors = ([candidate] + node.successors)[  # type: ignore[list-item]
+                : self.successor_list_len
+            ]
+            succ_id = candidate  # type: ignore[assignment]
+            succ = self._nodes[succ_id]
+        # notify
+        if (
+            succ.predecessor is None
+            or not self._alive(succ.predecessor)
+            or in_open_interval(node_id, succ.predecessor, succ_id, self.space)
+        ):
+            succ.predecessor = node_id
+        # refresh successor list from the (possibly new) successor
+        node.successors = ([succ_id] + [s for s in succ.successors if s != node_id])[
+            : self.successor_list_len
+        ]
+
+    def fix_fingers(self, node_id: int, count: int = 1) -> None:
+        """Refresh ``count`` finger-table entries of a node via routing."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            return
+        if not node.fingers:
+            node.fingers = [None] * self.id_bits
+        for _ in range(count):
+            i = node._next_finger
+            node._next_finger = (node._next_finger + 1) % self.id_bits
+            target = (node.id + (1 << i)) % self.space
+            try:
+                owner, _ = self.find_successor(node.id, target)
+            except RoutingError:
+                continue
+            node.fingers[i] = owner
+
+    def stabilize_all(self, rounds: int = 1, fingers_per_round: int = 4) -> None:
+        """Run stabilization + finger repair for every node, ``rounds`` times."""
+        for _ in range(rounds):
+            for node_id in sorted(self._nodes):
+                if node_id in self._nodes:
+                    self.stabilize(node_id)
+                    self.fix_fingers(node_id, fingers_per_round)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        for node in self._nodes.values():
+            if key in node.store:
+                return node.store[key]
+        return None
+
+    def keys(self) -> Iterable[str]:
+        for node in self._nodes.values():
+            yield from node.store
+
+    def peer_of(self, key: str) -> int:
+        kid = hash_key(key, self.id_bits)
+        return self._exact_successor(sorted(self._nodes), kid)
+
+    def peer_loads(self) -> dict[int, int]:
+        return {nid: len(node.store) for nid, node in self._nodes.items()}
+
+    @property
+    def n_peers(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted identifiers of all live nodes."""
+        return sorted(self._nodes)
+
+    def check_ring(self) -> None:
+        """Assert the successor pointers form a single cycle over all nodes."""
+        if not self._nodes:
+            raise EmptyOverlayError("empty overlay")
+        start = min(self._nodes)
+        seen = {start}
+        current = start
+        for _ in range(len(self._nodes)):
+            current = self._live_successor(self._nodes[current])
+            if current == start:
+                break
+            if current in seen:
+                raise RoutingError(f"successor cycle does not include all nodes")
+            seen.add(current)
+        if len(seen) != len(self._nodes):
+            raise RoutingError(
+                f"ring covers {len(seen)} of {len(self._nodes)} nodes"
+            )

@@ -1,0 +1,89 @@
+"""Fault-injection wrapper: probabilistic operation failures.
+
+Over-DHT indexes interpret a failed DHT-get *structurally* (Alg. 2 treats
+it as "this internal node does not exist"), so transient routing failures
+are a genuine hazard for the whole scheme family.  This wrapper makes
+that hazard testable: it drops a configurable fraction of gets (returning
+``None`` as a lossy network would) and optionally fails puts.
+
+The failure-injection test suite uses it to pin down the safety
+contract: under dropped gets an index operation may return an *explicit*
+miss or raise, but it must never return wrong data silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.errors import ConfigurationError, DHTError
+
+__all__ = ["FaultyDHT"]
+
+
+class FaultyDHT(DHT):
+    """Wrap a substrate with seeded, probabilistic operation failures."""
+
+    def __init__(
+        self,
+        inner: DHT,
+        get_drop_rate: float = 0.0,
+        put_fail_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= get_drop_rate <= 1.0 or not 0.0 <= put_fail_rate <= 1.0:
+            raise ConfigurationError("failure rates must be in [0, 1]")
+        super().__init__(inner.metrics)
+        self.inner = inner
+        self.get_drop_rate = get_drop_rate
+        self.put_fail_rate = put_fail_rate
+        self._rng = np.random.default_rng(seed)
+        self.dropped_gets = 0
+        self.failed_puts = 0
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        if self.put_fail_rate and self._rng.random() < self.put_fail_rate:
+            self.failed_puts += 1
+            raise DHTError(f"injected put failure for {key!r}")
+        self.inner.put(key, value)
+
+    def get(self, key: str) -> Any | None:
+        if self.get_drop_rate and self._rng.random() < self.get_drop_rate:
+            self.dropped_gets += 1
+            # Charge the lookup: the network work happened, the reply
+            # was lost.
+            self.metrics.record_get(1, found=False)
+            return None
+        return self.inner.get(key)
+
+    def remove(self, key: str) -> Any | None:
+        return self.inner.remove(key)
+
+    def local_write(self, key: str, value: Any) -> None:
+        self.inner.local_write(key, value)
+
+    # ------------------------------------------------------------------
+    # Introspection (never faulty: it models oracle access)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        return self.inner.peek(key)
+
+    def keys(self) -> Iterable[str]:
+        return self.inner.keys()
+
+    def peer_of(self, key: str) -> int:
+        return self.inner.peer_of(key)
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.inner.peer_loads()
+
+    @property
+    def n_peers(self) -> int:
+        return self.inner.n_peers

@@ -1,0 +1,55 @@
+"""Consistent hashing primitives (Karger et al., paper §1).
+
+All substrates identify peers and keys on a ``2**bits`` circular identifier
+space using SHA-1, exactly as Chord/Pastry/Bamboo do.  Helper functions
+implement modular ring arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "hash_key",
+    "ring_distance",
+    "in_open_interval",
+    "in_half_open_interval",
+]
+
+#: Identifier width in bits (SHA-1, as in Chord and Bamboo).
+ID_BITS = 160
+
+#: Size of the identifier space.
+ID_SPACE = 1 << ID_BITS
+
+
+def hash_key(key: str, bits: int = ID_BITS) -> int:
+    """SHA-1 hash of a string key, truncated to ``bits`` bits."""
+    digest = hashlib.sha1(key.encode()).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> (160 - bits) if bits < 160 else value
+
+
+def ring_distance(a: int, b: int, space: int = ID_SPACE) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ring."""
+    return (b - a) % space
+
+
+def in_open_interval(x: int, lo: int, hi: int, space: int = ID_SPACE) -> bool:
+    """Whether ``x ∈ (lo, hi)`` on the ring (both endpoints excluded).
+
+    An empty interval (``lo == hi``) wraps the whole ring, matching Chord's
+    convention for a ring with a single node.
+    """
+    return ring_distance(lo, x, space) != 0 and ring_distance(lo, x, space) < (
+        ring_distance(lo, hi, space) or space
+    )
+
+
+def in_half_open_interval(x: int, lo: int, hi: int, space: int = ID_SPACE) -> bool:
+    """Whether ``x ∈ (lo, hi]`` on the ring."""
+    if lo == hi:
+        return True
+    return 0 < ring_distance(lo, x, space) <= ring_distance(lo, hi, space)

@@ -1,0 +1,198 @@
+"""Kademlia DHT substrate (Maymounkov & Mazières, IPTPS 2002).
+
+XOR-metric routing with per-node k-buckets and the iterative
+``FIND_NODE`` procedure: each lookup keeps a shortlist of the ``k``
+closest known contacts and queries the ``α`` closest not-yet-queried ones
+per round until the closest node stops improving.
+
+Keys live on the single node whose identifier is XOR-closest to
+``hash(key)`` (replication factor 1 — the index layers treat the DHT as a
+non-replicated put/get store, as the paper does; replication is an
+orthogonal substrate concern).
+
+The overlay is built statically from the global membership (each node's
+buckets are populated with up to ``k`` contacts per distance range),
+which models a converged network — the regime in which the paper
+measures.  Hop accounting counts every ``FIND_NODE`` message of the
+iterative lookup, Kademlia's natural bandwidth unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.dht.hashing import hash_key
+from repro.dht.metrics import MetricsRecorder
+from repro.errors import ConfigurationError, RoutingError
+
+__all__ = ["KademliaDHT", "KademliaNode"]
+
+
+@dataclass
+class KademliaNode:
+    """One Kademlia peer: identifier, k-buckets, and key store."""
+
+    id: int
+    buckets: list[list[int]] = field(default_factory=list)
+    store: dict[str, Any] = field(default_factory=dict)
+
+    def contacts(self) -> list[int]:
+        """All known contacts across buckets."""
+        return [c for bucket in self.buckets for c in bucket]
+
+
+class KademliaDHT(DHT):
+    """A simulated Kademlia overlay implementing the generic DHT interface."""
+
+    MAX_ROUNDS = 64
+
+    def __init__(
+        self,
+        n_peers: int = 64,
+        seed: int = 0,
+        id_bits: int = 32,
+        k: int = 8,
+        alpha: int = 3,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        super().__init__(metrics)
+        if n_peers < 1:
+            raise ConfigurationError(f"n_peers must be >= 1: {n_peers}")
+        if k < 1 or alpha < 1:
+            raise ConfigurationError(f"k and alpha must be >= 1: k={k}, alpha={alpha}")
+        self.id_bits = id_bits
+        self.k = k
+        self.alpha = alpha
+        self._rng = np.random.default_rng(seed)
+        ids: set[int] = set()
+        while len(ids) < n_peers:
+            ids.add(int(self._rng.integers(0, 1 << id_bits)))
+        self._nodes: dict[int, KademliaNode] = {
+            nid: KademliaNode(id=nid) for nid in ids
+        }
+        self._build_buckets()
+
+    # ------------------------------------------------------------------
+    # Static overlay construction
+    # ------------------------------------------------------------------
+
+    def _bucket_index(self, node_id: int, other: int) -> int:
+        """Bucket index = position of the highest differing bit."""
+        return (node_id ^ other).bit_length() - 1
+
+    def _build_buckets(self) -> None:
+        all_ids = sorted(self._nodes)
+        for node in self._nodes.values():
+            node.buckets = [[] for _ in range(self.id_bits)]
+            for other in all_ids:
+                if other == node.id:
+                    continue
+                idx = self._bucket_index(node.id, other)
+                if len(node.buckets[idx]) < self.k:
+                    node.buckets[idx].append(other)
+
+    # ------------------------------------------------------------------
+    # Iterative lookup
+    # ------------------------------------------------------------------
+
+    def _node_closest_contacts(self, node_id: int, target: int) -> list[int]:
+        """A node's answer to FIND_NODE: its k known contacts closest to
+        ``target`` (itself included, as real implementations do)."""
+        node = self._nodes[node_id]
+        candidates = node.contacts() + [node_id]
+        candidates.sort(key=lambda c: c ^ target)
+        return candidates[: self.k]
+
+    def iterative_find(self, start: int, target: int) -> tuple[int, int]:
+        """Locate the globally XOR-closest node to ``target``.
+
+        Returns ``(closest_node_id, messages_sent)``.
+        """
+        queried: set[int] = set()
+        shortlist = sorted(
+            self._node_closest_contacts(start, target), key=lambda c: c ^ target
+        )
+        messages = 0
+        for _ in range(self.MAX_ROUNDS):
+            pending = [c for c in shortlist[: self.k] if c not in queried]
+            if not pending:
+                break
+            best_before = shortlist[0] ^ target
+            for contact in pending[: self.alpha]:
+                queried.add(contact)
+                messages += 1
+                learned = self._node_closest_contacts(contact, target)
+                shortlist = sorted(
+                    set(shortlist) | set(learned), key=lambda c: c ^ target
+                )
+            if shortlist[0] ^ target == best_before and all(
+                c in queried for c in shortlist[: self.k]
+            ):
+                break
+        else:
+            raise RoutingError(f"Kademlia lookup did not converge on {target}")
+        return shortlist[0], max(messages, 1)
+
+    def _route_key(self, key: str) -> tuple[KademliaNode, int]:
+        target = hash_key(key, self.id_bits)
+        ids = sorted(self._nodes)
+        start = ids[int(self._rng.integers(0, len(ids)))]
+        owner, messages = self.iterative_find(start, target)
+        return self._nodes[owner], messages
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        node, hops = self._route_key(key)
+        self.metrics.record_put(hops)
+        node.store[key] = value
+
+    def get(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        value = node.store.get(key)
+        self.metrics.record_get(hops, found=value is not None)
+        return value
+
+    def remove(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        self.metrics.record_remove(hops)
+        return node.store.pop(key, None)
+
+
+    def local_write(self, key: str, value: Any) -> None:
+        for node in self._nodes.values():
+            if key in node.store:
+                node.store[key] = value
+                return
+        self._nodes[self.peer_of(key)].store[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        for node in self._nodes.values():
+            if key in node.store:
+                return node.store[key]
+        return None
+
+    def keys(self) -> Iterable[str]:
+        for node in self._nodes.values():
+            yield from node.store
+
+    def peer_of(self, key: str) -> int:
+        target = hash_key(key, self.id_bits)
+        return min(self._nodes, key=lambda nid: nid ^ target)
+
+    def peer_loads(self) -> dict[int, int]:
+        return {nid: len(node.store) for nid, node in self._nodes.items()}
+
+    @property
+    def n_peers(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,116 @@
+"""Instrumentation shared by all DHT substrates and index clients.
+
+The paper's evaluation is entirely count-based (§8.1, §9): number of
+DHT-lookups, number of moved records, and parallel DHT-lookup steps.  All
+substrates and indexes funnel their accounting through one
+:class:`MetricsRecorder`, and experiments measure operations by snapshot
+difference, so the same harness works unchanged over any substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["MetricsSnapshot", "MetricsRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """Immutable counter values; supports subtraction for per-op deltas."""
+
+    dht_lookups: int = 0
+    failed_gets: int = 0
+    puts: int = 0
+    gets: int = 0
+    removes: int = 0
+    hops: int = 0
+    records_moved: int = 0
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+class MetricsRecorder:
+    """Mutable counters with snapshot/delta support.
+
+    ``dht_lookups`` counts every routed operation (get, put, remove) once —
+    the paper's unit of bandwidth for index traffic.  ``hops`` additionally
+    counts the physical overlay hops each routed operation took, which
+    feeds the cost-model parameter ``j``.
+    """
+
+    __slots__ = (
+        "dht_lookups",
+        "failed_gets",
+        "puts",
+        "gets",
+        "removes",
+        "hops",
+        "records_moved",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.dht_lookups = 0
+        self.failed_gets = 0
+        self.puts = 0
+        self.gets = 0
+        self.removes = 0
+        self.hops = 0
+        self.records_moved = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_get(self, hops: int, found: bool) -> None:
+        """Account one routed DHT-get."""
+        self.dht_lookups += 1
+        self.gets += 1
+        self.hops += hops
+        if not found:
+            self.failed_gets += 1
+
+    def record_put(self, hops: int) -> None:
+        """Account one routed DHT-put."""
+        self.dht_lookups += 1
+        self.puts += 1
+        self.hops += hops
+
+    def record_remove(self, hops: int) -> None:
+        """Account one routed DHT-remove."""
+        self.dht_lookups += 1
+        self.removes += 1
+        self.hops += hops
+
+    def record_moved_records(self, count: int) -> None:
+        """Account records shipped between peers (cost-model unit ``i``)."""
+        self.records_moved += count
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Capture current counter values."""
+        return MetricsSnapshot(
+            dht_lookups=self.dht_lookups,
+            failed_gets=self.failed_gets,
+            puts=self.puts,
+            gets=self.gets,
+            removes=self.removes,
+            hops=self.hops,
+            records_moved=self.records_moved,
+        )
+
+    def since(self, snap: MetricsSnapshot) -> MetricsSnapshot:
+        """Delta between now and an earlier snapshot."""
+        return self.snapshot() - snap

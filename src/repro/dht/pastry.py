@@ -1,0 +1,221 @@
+"""Pastry DHT substrate (Rowstron & Druschel, Middleware 2001).
+
+Prefix routing over base-``2**b`` digit identifiers with a routing table
+(one row per shared-prefix length, one column per next digit) and a leaf
+set of the ``L`` numerically closest peers.  Routing forwards to a peer
+whose identifier shares a strictly longer prefix with the key — or, when
+the key falls inside the leaf-set range, directly to the numerically
+closest leaf — giving ``O(log_{2^b} N)`` hops.
+
+Like :class:`~repro.dht.kademlia.KademliaDHT`, the overlay is built
+statically from global membership (a converged network); Chord is the
+substrate used for dynamic churn studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.dht.hashing import hash_key
+from repro.dht.metrics import MetricsRecorder
+from repro.errors import ConfigurationError, RoutingError
+
+__all__ = ["PastryDHT", "PastryNode"]
+
+
+@dataclass
+class PastryNode:
+    """One Pastry peer: identifier, routing table, leaf set, key store."""
+
+    id: int
+    routing_table: list[list[int | None]] = field(default_factory=list)
+    leaf_set: list[int] = field(default_factory=list)
+    store: dict[str, Any] = field(default_factory=dict)
+
+
+class PastryDHT(DHT):
+    """A simulated Pastry overlay implementing the generic DHT interface."""
+
+    MAX_ROUTE_HOPS = 128
+
+    def __init__(
+        self,
+        n_peers: int = 64,
+        seed: int = 0,
+        id_bits: int = 32,
+        b: int = 4,
+        leaf_set_size: int = 8,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        super().__init__(metrics)
+        if n_peers < 1:
+            raise ConfigurationError(f"n_peers must be >= 1: {n_peers}")
+        if id_bits % b != 0:
+            raise ConfigurationError(f"id_bits ({id_bits}) must be a multiple of b ({b})")
+        self.id_bits = id_bits
+        self.b = b
+        self.n_digits = id_bits // b
+        self.digit_base = 1 << b
+        self.leaf_set_size = leaf_set_size
+        self._rng = np.random.default_rng(seed)
+        ids: set[int] = set()
+        while len(ids) < n_peers:
+            ids.add(int(self._rng.integers(0, 1 << id_bits)))
+        self._nodes: dict[int, PastryNode] = {nid: PastryNode(id=nid) for nid in ids}
+        self._build_tables()
+
+    # ------------------------------------------------------------------
+    # Identifier digit helpers
+    # ------------------------------------------------------------------
+
+    def _digit(self, node_id: int, position: int) -> int:
+        """The ``position``-th digit (most significant first)."""
+        shift = self.id_bits - (position + 1) * self.b
+        return (node_id >> shift) & (self.digit_base - 1)
+
+    def shared_prefix_len(self, a: int, c: int) -> int:
+        """Number of leading digits ``a`` and ``c`` share."""
+        for pos in range(self.n_digits):
+            if self._digit(a, pos) != self._digit(c, pos):
+                return pos
+        return self.n_digits
+
+    # ------------------------------------------------------------------
+    # Static overlay construction
+    # ------------------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        ordered = sorted(self._nodes)
+        n = len(ordered)
+        index_of = {nid: i for i, nid in enumerate(ordered)}
+        half = self.leaf_set_size // 2
+        for node in self._nodes.values():
+            i = index_of[node.id]
+            node.leaf_set = sorted(
+                {
+                    ordered[(i + off) % n]
+                    for off in range(-half, half + 1)
+                    if off != 0 and n > 1
+                }
+            )
+            node.routing_table = [
+                [None] * self.digit_base for _ in range(self.n_digits)
+            ]
+            for other in ordered:
+                if other == node.id:
+                    continue
+                row = self.shared_prefix_len(node.id, other)
+                if row >= self.n_digits:
+                    continue
+                col = self._digit(other, row)
+                if node.routing_table[row][col] is None:
+                    node.routing_table[row][col] = other
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _circular_diff(a: int, c: int, space: int) -> int:
+        d = abs(a - c)
+        return min(d, space - d)
+
+    def _numerically_closest(self, candidates: Iterable[int], key_id: int) -> int:
+        space = 1 << self.id_bits
+        return min(candidates, key=lambda c: (self._circular_diff(c, key_id, space), c))
+
+    def route(self, start: int, key_id: int) -> tuple[int, int]:
+        """Route from ``start`` towards ``key_id``; returns (owner, hops)."""
+        current = start
+        hops = 0
+        space = 1 << self.id_bits
+        for _ in range(self.MAX_ROUTE_HOPS):
+            node = self._nodes[current]
+            candidates = set(node.leaf_set) | {current}
+            # Leaf-set shortcut: if the key falls within leaf-set coverage,
+            # deliver to the numerically closest member.
+            closest = self._numerically_closest(candidates, key_id)
+            if closest == current:
+                return current, hops
+            row = self.shared_prefix_len(current, key_id)
+            nxt: int | None = None
+            if row < self.n_digits:
+                nxt = node.routing_table[row][self._digit(key_id, row)]
+            if nxt is None:
+                # Rare case: fall back to any known node strictly closer.
+                better = [
+                    c
+                    for c in candidates
+                    if self._circular_diff(c, key_id, space)
+                    < self._circular_diff(current, key_id, space)
+                ]
+                if not better:
+                    return current, hops
+                nxt = self._numerically_closest(better, key_id)
+            current = nxt
+            hops += 1
+        raise RoutingError(f"Pastry routing exceeded {self.MAX_ROUTE_HOPS} hops")
+
+    def _route_key(self, key: str) -> tuple[PastryNode, int]:
+        key_id = hash_key(key, self.id_bits)
+        ids = sorted(self._nodes)
+        start = ids[int(self._rng.integers(0, len(ids)))]
+        owner, hops = self.route(start, key_id)
+        return self._nodes[owner], max(hops, 1)
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        node, hops = self._route_key(key)
+        self.metrics.record_put(hops)
+        node.store[key] = value
+
+    def get(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        value = node.store.get(key)
+        self.metrics.record_get(hops, found=value is not None)
+        return value
+
+    def remove(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        self.metrics.record_remove(hops)
+        return node.store.pop(key, None)
+
+
+    def local_write(self, key: str, value: Any) -> None:
+        for node in self._nodes.values():
+            if key in node.store:
+                node.store[key] = value
+                return
+        self._nodes[self.peer_of(key)].store[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        for node in self._nodes.values():
+            if key in node.store:
+                return node.store[key]
+        return None
+
+    def keys(self) -> Iterable[str]:
+        for node in self._nodes.values():
+            yield from node.store
+
+    def peer_of(self, key: str) -> int:
+        key_id = hash_key(key, self.id_bits)
+        return self._numerically_closest(self._nodes, key_id)
+
+    def peer_loads(self) -> dict[int, int]:
+        return {nid: len(node.store) for nid, node in self._nodes.items()}
+
+    @property
+    def n_peers(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,100 @@
+"""Replication wrapper: k-way replica placement over any substrate.
+
+The churn experiment (E14) shows that with single-replica storage a
+crashing peer takes its leaf buckets with it.  Real deployments (e.g.
+OpenDHT, which the paper's Bamboo testbed powers) replicate each value on
+several peers; this wrapper adds that behaviour *above* any
+:class:`~repro.dht.base.DHT`, staying inside the over-DHT philosophy —
+no substrate modification, only salted keys.
+
+Cost accounting is honest: a put writes every replica (``r`` routed
+operations) and a get probes replicas in order until one answers, so the
+availability/maintenance trade-off shows up directly in the metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.dht.base import DHT
+from repro.errors import ConfigurationError
+
+__all__ = ["ReplicatedDHT"]
+
+
+class ReplicatedDHT(DHT):
+    """Store each value under ``n_replicas`` salted keys of an inner DHT.
+
+    Replica ``0`` uses the unmodified key (so peer placement of the
+    primary matches the unwrapped substrate); replicas ``1 … r-1`` use
+    ``key##i`` salts, which hash to unrelated peers.
+    """
+
+    def __init__(self, inner: DHT, n_replicas: int = 3) -> None:
+        if n_replicas < 1:
+            raise ConfigurationError(f"n_replicas must be >= 1: {n_replicas}")
+        super().__init__(inner.metrics)  # share the recorder: costs add up
+        self.inner = inner
+        self.n_replicas = n_replicas
+
+    def _replica_keys(self, key: str) -> list[str]:
+        return [key] + [f"{key}##r{i}" for i in range(1, self.n_replicas)]
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        for replica_key in self._replica_keys(key):
+            self.inner.put(replica_key, value)
+
+    def get(self, key: str) -> Any | None:
+        for replica_key in self._replica_keys(key):
+            value = self.inner.get(replica_key)
+            if value is not None:
+                return value
+        return None
+
+    def remove(self, key: str) -> Any | None:
+        removed = None
+        for replica_key in self._replica_keys(key):
+            value = self.inner.remove(replica_key)
+            removed = removed if removed is not None else value
+        return removed
+
+    def local_write(self, key: str, value: Any) -> None:
+        for replica_key in self._replica_keys(key):
+            self.inner.local_write(replica_key, value)
+
+    # ------------------------------------------------------------------
+    # Introspection (delegates; replica salts are stripped)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        for replica_key in self._replica_keys(key):
+            value = self.inner.peek(replica_key)
+            if value is not None:
+                return value
+        return None
+
+    def keys(self) -> Iterable[str]:
+        seen: set[str] = set()
+        for key in self.inner.keys():
+            base = key.split("##r")[0]
+            if base not in seen:
+                seen.add(base)
+                yield base
+
+    def peer_of(self, key: str) -> int:
+        return self.inner.peer_of(key)
+
+    def replica_peers(self, key: str) -> list[int]:
+        """Peers holding each replica of ``key``."""
+        return [self.inner.peer_of(rk) for rk in self._replica_keys(key)]
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.inner.peer_loads()
+
+    @property
+    def n_peers(self) -> int:
+        return self.inner.n_peers

@@ -1,0 +1,77 @@
+"""Byte-store wrapper: values cross the DHT boundary as bytes.
+
+The plain simulated substrates store Python objects by reference, which
+silently lets index code depend on in-process aliasing (mutate a fetched
+bucket and the "stored" copy changes too).  A deployed DHT stores bytes;
+this wrapper enforces those semantics by pickling every value on
+``put``/``local_write`` and unpickling a *fresh copy* on every
+``get``/``peek``.
+
+Running the full index test battery over ``SerializingDHT(LocalDHT())``
+is the proof that the LHT/PHT implementations persist every mutation
+through an explicit write — i.e. that they would work over a real
+byte-oriented DHT such as OpenDHT.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterable
+
+from repro.dht.base import DHT
+
+__all__ = ["SerializingDHT"]
+
+
+class SerializingDHT(DHT):
+    """Wrap a substrate so all values are stored in serialized form."""
+
+    def __init__(self, inner: DHT) -> None:
+        super().__init__(inner.metrics)
+        self.inner = inner
+        self.bytes_written = 0
+
+    def _encode(self, value: Any) -> bytes:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self.bytes_written += len(payload)
+        return payload
+
+    @staticmethod
+    def _decode(payload: Any) -> Any:
+        return pickle.loads(payload) if payload is not None else None
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        self.inner.put(key, self._encode(value))
+
+    def get(self, key: str) -> Any | None:
+        return self._decode(self.inner.get(key))
+
+    def remove(self, key: str) -> Any | None:
+        return self._decode(self.inner.remove(key))
+
+    def local_write(self, key: str, value: Any) -> None:
+        self.inner.local_write(key, self._encode(value))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        return self._decode(self.inner.peek(key))
+
+    def keys(self) -> Iterable[str]:
+        return self.inner.keys()
+
+    def peer_of(self, key: str) -> int:
+        return self.inner.peer_of(key)
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.inner.peer_loads()
+
+    @property
+    def n_peers(self) -> int:
+        return self.inner.n_peers

@@ -1,0 +1,218 @@
+"""Tapestry DHT substrate (Zhao, Kubiatowicz & Joseph, 2002).
+
+The fourth substrate the paper's §1 names.  Like Pastry, Tapestry routes
+by resolving one identifier digit per hop through per-level neighbor
+tables; its distinguishing mechanism is **surrogate routing**: when the
+exact next-digit entry is missing, the message deterministically takes
+the next existing digit at that level (wrapping), so every identifier
+resolves to a unique *surrogate root* without leaf sets or numeric
+distance.  A key is stored at its surrogate root.
+
+Built statically from global membership, like the other
+prefix/XOR-routing substrates; Chord and CAN are the dynamic-membership
+overlays in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.dht.hashing import hash_key
+from repro.dht.metrics import MetricsRecorder
+from repro.errors import ConfigurationError, RoutingError
+
+__all__ = ["TapestryDHT", "TapestryNode"]
+
+
+@dataclass
+class TapestryNode:
+    """One Tapestry peer: identifier, per-level routing table, store.
+
+    ``table[level][digit]`` holds a node whose identifier matches this
+    node's first ``level`` digits and continues with ``digit`` — or
+    ``None`` when no such node exists (surrogate routing skips it).
+    """
+
+    id: int
+    table: list[list[int | None]] = field(default_factory=list)
+    store: dict[str, Any] = field(default_factory=dict)
+
+
+class TapestryDHT(DHT):
+    """A simulated Tapestry overlay implementing the generic DHT API."""
+
+    def __init__(
+        self,
+        n_peers: int = 64,
+        seed: int = 0,
+        id_bits: int = 32,
+        b: int = 4,
+        metrics: MetricsRecorder | None = None,
+    ) -> None:
+        super().__init__(metrics)
+        if n_peers < 1:
+            raise ConfigurationError(f"n_peers must be >= 1: {n_peers}")
+        if id_bits % b != 0:
+            raise ConfigurationError(
+                f"id_bits ({id_bits}) must be a multiple of b ({b})"
+            )
+        self.id_bits = id_bits
+        self.b = b
+        self.n_digits = id_bits // b
+        self.digit_base = 1 << b
+        self._rng = np.random.default_rng(seed)
+        ids: set[int] = set()
+        while len(ids) < n_peers:
+            ids.add(int(self._rng.integers(0, 1 << id_bits)))
+        self._nodes: dict[int, TapestryNode] = {
+            nid: TapestryNode(id=nid) for nid in ids
+        }
+        self._build_tables()
+
+    # ------------------------------------------------------------------
+    # Digits and surrogate resolution
+    # ------------------------------------------------------------------
+
+    def _digit(self, node_id: int, position: int) -> int:
+        shift = self.id_bits - (position + 1) * self.b
+        return (node_id >> shift) & (self.digit_base - 1)
+
+    def _shared_prefix_len(self, a: int, c: int) -> int:
+        for pos in range(self.n_digits):
+            if self._digit(a, pos) != self._digit(c, pos):
+                return pos
+        return self.n_digits
+
+    def _build_tables(self) -> None:
+        ordered = sorted(self._nodes)
+        for node in self._nodes.values():
+            node.table = [
+                [None] * self.digit_base for _ in range(self.n_digits)
+            ]
+            for other in ordered:
+                if other == node.id:
+                    continue
+                level = self._shared_prefix_len(node.id, other)
+                if level >= self.n_digits:
+                    continue
+                digit = self._digit(other, level)
+                current = node.table[level][digit]
+                # Prefer the entry whose remaining digits are smallest —
+                # deterministic, so all nodes agree on surrogate roots.
+                if current is None or other < current:
+                    node.table[level][digit] = other
+
+    def surrogate_root(self, key_id: int) -> int:
+        """The unique node that owns ``key_id`` under surrogate routing.
+
+        Resolves digits left to right over the *global* membership: at
+        each level take the smallest present digit ≥ the key's digit
+        (wrapping to 0), among nodes matching the prefix chosen so far.
+        """
+        candidates = sorted(self._nodes)
+        prefix_choice: list[int] = []
+        for level in range(self.n_digits):
+            present = sorted(
+                {self._digit(nid, level) for nid in candidates}
+            )
+            want = self._digit(key_id, level)
+            chosen = next((d for d in present if d >= want), present[0])
+            candidates = [
+                nid for nid in candidates if self._digit(nid, level) == chosen
+            ]
+            prefix_choice.append(chosen)
+            if len(candidates) == 1:
+                return candidates[0]
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, start: int, key_id: int) -> tuple[int, int]:
+        """Digit-by-digit forwarding with surrogate fallback."""
+        current = start
+        hops = 0
+        for level in range(self.n_digits):
+            node = self._nodes[current]
+            if self._digit(current, level) == self._digit(key_id, level):
+                continue  # this digit already matches; resolve the next
+            row = node.table[level]
+            want = self._digit(key_id, level)
+            nxt = None
+            for offset in range(self.digit_base):
+                candidate_digit = (want + offset) % self.digit_base
+                if candidate_digit == self._digit(current, level):
+                    # staying at the current node resolves this level
+                    nxt = current
+                    break
+                if row[candidate_digit] is not None:
+                    nxt = row[candidate_digit]
+                    break
+            if nxt is None or nxt == current:
+                continue  # surrogate: keep our own digit at this level
+            current = nxt
+            hops += 1
+        return current, hops
+
+    def _route_key(self, key: str) -> tuple[TapestryNode, int]:
+        key_id = hash_key(key, self.id_bits)
+        ids = sorted(self._nodes)
+        start = ids[int(self._rng.integers(0, len(ids)))]
+        owner, hops = self.route(start, key_id)
+        return self._nodes[owner], max(hops, 1)
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        node, hops = self._route_key(key)
+        self.metrics.record_put(hops)
+        node.store[key] = value
+
+    def get(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        value = node.store.get(key)
+        self.metrics.record_get(hops, found=value is not None)
+        return value
+
+    def remove(self, key: str) -> Any | None:
+        node, hops = self._route_key(key)
+        self.metrics.record_remove(hops)
+        return node.store.pop(key, None)
+
+    def local_write(self, key: str, value: Any) -> None:
+        for node in self._nodes.values():
+            if key in node.store:
+                node.store[key] = value
+                return
+        self._nodes[self.peer_of(key)].store[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        for node in self._nodes.values():
+            if key in node.store:
+                return node.store[key]
+        return None
+
+    def keys(self) -> Iterable[str]:
+        for node in self._nodes.values():
+            yield from node.store
+
+    def peer_of(self, key: str) -> int:
+        return self.surrogate_root(hash_key(key, self.id_bits))
+
+    def peer_loads(self) -> dict[int, int]:
+        return {nid: len(node.store) for nid, node in self._nodes.items()}
+
+    @property
+    def n_peers(self) -> int:
+        return len(self._nodes)

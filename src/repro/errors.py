@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LabelError(ReproError):
+    """An invalid tree-node label or an illegal label operation."""
+
+
+class KeyOutOfRangeError(ReproError):
+    """A data key fell outside the indexable domain ``[0, 1)``."""
+
+
+class DepthExceededError(ReproError):
+    """A tree path grew deeper than the configured maximum depth ``D``."""
+
+
+class LookupError_(ReproError):
+    """An index lookup failed to converge (inconsistent index state)."""
+
+
+class DHTError(ReproError):
+    """Base class for DHT-substrate errors."""
+
+
+class NoSuchPeerError(DHTError):
+    """An operation referenced a peer that is not part of the overlay."""
+
+
+class EmptyOverlayError(DHTError):
+    """An operation was attempted on an overlay with no live peers."""
+
+
+class RoutingError(DHTError):
+    """Overlay routing failed to reach the peer responsible for a key."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration parameters."""

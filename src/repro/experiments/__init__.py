@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper figure/analysis.
+
+Every module exposes ``run(scale="ci", seed=0) -> ExperimentResult``;
+``scale="paper"`` uses the paper's dataset sizes and trial counts (slow),
+``"ci"`` a reduced grid with identical structure.  The
+:mod:`repro.experiments.runner` CLI drives them all and renders text
+tables mirroring the paper's plots.
+
+Experiment IDs (see DESIGN.md §4):
+
+====  =====================  ==========================================
+ID    Paper artefact         Module
+====  =====================  ==========================================
+E1-2  Fig. 6a-b              :mod:`repro.experiments.fig6_alpha`
+E3-4  Fig. 7a-b              :mod:`repro.experiments.fig7_maintenance`
+E5-6  Fig. 8a-b              :mod:`repro.experiments.fig8_lookup`
+E7-8  Fig. 9a-b              :mod:`repro.experiments.fig9_range_bandwidth`
+E9-10 Fig. 10a-b             :mod:`repro.experiments.fig10_range_latency`
+E11   Eq. 3 (§8.2)           :mod:`repro.experiments.eq3_saving`
+E12   Theorem 3 (§7)         :mod:`repro.experiments.minmax_cost`
+E13   substrate independence :mod:`repro.experiments.substrates`
+E14   churn resilience       :mod:`repro.experiments.churn_study`
+E15   storage load balance   :mod:`repro.experiments.load_balance`
+====  =====================  ==========================================
+"""
+
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["ExperimentResult", "Series"]

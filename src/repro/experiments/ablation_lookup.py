@@ -1,0 +1,105 @@
+"""E16 — lookup ablation: name-class collapse vs binary search.
+
+LHT's lookup saving over PHT (Fig. 8) has two ingredients: the naming
+function collapses the candidate set from ``D`` prefix lengths to
+``≈ D/2`` name classes, and a binary search runs over the collapsed set.
+This ablation measures all four combinations across data sizes:
+
+* ``lht-binary`` — Alg. 2 as published (collapse + search);
+* ``lht-linear`` — collapse only (descend one name class per probe);
+* ``pht-binary`` — search only (PHT's published lookup);
+* ``pht-linear`` — neither (top-down trie descent).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate, powers_of_two
+from repro.core.config import IndexConfig
+from repro.core.lookup import lht_lookup, lht_lookup_linear
+from repro.dht.local import LocalDHT
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    build_index,
+    trial_rng,
+)
+from repro.workloads.datasets import make_keys
+from repro.workloads.queries import lookup_keys
+
+__all__ = ["run"]
+
+_SCALES = {
+    "ci": {"exps": (8, 13), "trials": 3, "n_lookups": 200},
+    "paper": {"exps": (10, 17), "trials": 5, "n_lookups": 1000},
+}
+
+_THETA = 100
+_MAX_DEPTH = 20
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Probe counts for the four lookup variants across data sizes."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+    lo, hi = params["exps"]
+    sizes = powers_of_two(lo, hi)
+    config = IndexConfig(theta_split=_THETA, max_depth=_MAX_DEPTH)
+
+    curves: dict[str, list[float]] = {
+        "lht-binary": [],
+        "lht-linear": [],
+        "pht-binary": [],
+        "pht-linear": [],
+    }
+    for size in sizes:
+        samples: dict[str, list[float]] = {name: [] for name in curves}
+        for trial in range(params["trials"]):
+            rng = trial_rng(seed, f"ablation:{size}", trial)
+            keys = make_keys("uniform", size, rng)
+            lht = build_index("lht", LocalDHT(64, trial), config, keys)
+            pht = build_index("pht", LocalDHT(64, trial), config, keys)
+            probes = [float(p) for p in lookup_keys(params["n_lookups"], rng)]
+            n = len(probes)
+            samples["lht-binary"].append(
+                sum(lht_lookup(lht.dht, config, p).dht_lookups for p in probes) / n
+            )
+            samples["lht-linear"].append(
+                sum(
+                    lht_lookup_linear(lht.dht, config, p).dht_lookups
+                    for p in probes
+                )
+                / n
+            )
+            samples["pht-binary"].append(
+                sum(pht.lookup(p).dht_lookups for p in probes) / n
+            )
+            samples["pht-linear"].append(
+                sum(pht.lookup_linear(p).dht_lookups for p in probes) / n
+            )
+        for name in curves:
+            curves[name].append(aggregate(samples[name]).mean)
+
+    xs = [float(s) for s in sizes]
+    return [
+        ExperimentResult(
+            experiment_id="E16",
+            title="Lookup ablation: name-class collapse vs binary search",
+            x_label="data size",
+            y_label="DHT-lookups per index lookup",
+            params={
+                "scale": scale,
+                "seed": seed,
+                "theta_split": _THETA,
+                "max_depth": _MAX_DEPTH,
+                **params,
+            },
+            series=[Series(name, xs, ys) for name, ys in curves.items()],
+            notes=(
+                "expect lht-binary < pht-binary and each binary variant "
+                "below its linear counterpart"
+            ),
+        )
+    ]

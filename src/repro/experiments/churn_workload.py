@@ -1,0 +1,83 @@
+"""E20 — maintenance under a churn-flavoured mixed workload (extension).
+
+Figs. 6-7 measure pure insertion; the paper's *motivation* is continuous
+insertion **and deletion** driven by peer dynamism (§1).  This extension
+replays identical mixed traces (insert/delete/lookup/range) against LHT
+and PHT and compares the total maintenance traffic, including LHT's
+merge operations — the regime the paper argues matters most.
+
+PHT has no published merge, so its trees only grow; LHT with merging
+additionally reclaims structure.  Both effects appear in the table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate
+from repro.baselines.pht import PHTIndex
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.dht.local import LocalDHT
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.workloads.trace import generate_trace, replay
+
+__all__ = ["run"]
+
+_SCALES = {
+    "ci": {"n_ops": 4_000, "trials": 3},
+    "paper": {"n_ops": 40_000, "trials": 5},
+}
+
+_THETA = 50
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Replay mixed traces against both schemes; report maintenance."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+
+    metrics = ("maintenance_lookups", "maintenance_records_moved")
+    collected: dict[tuple[str, str], list[float]] = {}
+    for trial in range(params["trials"]):
+        rng = trial_rng(seed, "churn-workload", trial)
+        trace = generate_trace(params["n_ops"], rng)
+        lht = LHTIndex(
+            LocalDHT(64, trial),
+            IndexConfig(theta_split=_THETA, max_depth=24, merge_enabled=True),
+        )
+        pht = PHTIndex(
+            LocalDHT(64, trial), IndexConfig(theta_split=_THETA, max_depth=24)
+        )
+        for scheme, index in (("lht", lht), ("pht", pht)):
+            totals = replay(index, trace)
+            for metric in metrics:
+                collected.setdefault((scheme, metric), []).append(totals[metric])
+
+    xs = [0.0, 1.0]  # [maintenance_lookups, records_moved]
+    series = [
+        Series(
+            scheme,
+            xs,
+            [aggregate(collected[(scheme, m)]).mean for m in metrics],
+            [aggregate(collected[(scheme, m)]).ci95_half_width for m in metrics],
+        )
+        for scheme in ("lht", "pht")
+    ]
+    lht_l = aggregate(collected[("lht", "maintenance_lookups")]).mean
+    pht_l = aggregate(collected[("pht", "maintenance_lookups")]).mean
+    return [
+        ExperimentResult(
+            experiment_id="E20",
+            title="Maintenance under a mixed insert/delete workload",
+            x_label="metric index [(0, maintenance_lookups), (1, records_moved)]",
+            y_label="cumulative maintenance cost",
+            params={"scale": scale, "seed": seed, "theta_split": _THETA, **params},
+            series=series,
+            notes=(
+                f"LHT/PHT maintenance-lookup ratio: {lht_l / pht_l:.2f} "
+                "(LHT merges are included; PHT has no published merge)"
+            ),
+        )
+    ]

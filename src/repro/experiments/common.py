@@ -1,0 +1,184 @@
+"""Shared infrastructure for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.pht import PHTIndex
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.dht.base import DHT
+from repro.dht.can import CANDHT
+from repro.dht.chord import ChordDHT
+from repro.dht.kademlia import KademliaDHT
+from repro.dht.local import LocalDHT
+from repro.dht.pastry import PastryDHT
+from repro.dht.tapestry import TapestryDHT
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+from repro.workloads.datasets import make_keys
+
+__all__ = [
+    "Series",
+    "ExperimentResult",
+    "SUBSTRATES",
+    "make_dht",
+    "build_index",
+    "trial_rng",
+]
+
+#: Substrate factories selectable from the CLI.
+SUBSTRATES: dict[str, Callable[[int, int], DHT]] = {
+    "local": lambda n, seed: LocalDHT(n_peers=n, seed=seed),
+    "can": lambda n, seed: CANDHT(n_peers=n, seed=seed),
+    "chord": lambda n, seed: ChordDHT(n_peers=n, seed=seed),
+    "kademlia": lambda n, seed: KademliaDHT(n_peers=n, seed=seed),
+    "pastry": lambda n, seed: PastryDHT(n_peers=n, seed=seed),
+    "tapestry": lambda n, seed: TapestryDHT(n_peers=n, seed=seed),
+}
+
+
+def make_dht(substrate: str, n_peers: int, seed: int) -> DHT:
+    """Instantiate a substrate by name."""
+    try:
+        factory = SUBSTRATES[substrate]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown substrate {substrate!r}; choose from {sorted(SUBSTRATES)}"
+        ) from None
+    return factory(n_peers, seed)
+
+
+def trial_rng(seed: int, experiment: str, trial: int) -> np.random.Generator:
+    """Independent generator per (experiment, trial) pair."""
+    return np.random.default_rng(derive_seed(seed, f"{experiment}:{trial}"))
+
+
+def build_index(
+    scheme: str,
+    dht: DHT,
+    config: IndexConfig,
+    keys: np.ndarray,
+) -> LHTIndex | PHTIndex:
+    """Bulk-build an LHT or PHT index from a key array."""
+    if scheme == "lht":
+        index: LHTIndex | PHTIndex = LHTIndex(dht, config)
+    elif scheme == "pht":
+        index = PHTIndex(dht, config)
+    else:
+        raise ConfigurationError(f"unknown scheme {scheme!r}")
+    index.bulk_load(float(k) for k in keys)
+    return index
+
+
+@dataclass(slots=True)
+class Series:
+    """One labelled curve of an experiment plot."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+    y_err: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: x and y lengths differ"
+            )
+        if self.y_err and len(self.y_err) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: y_err length differs"
+            )
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """The regenerated data behind one paper figure or analysis."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    params: dict
+    series: list[Series]
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Render as an aligned text table, one column per series."""
+        xs = sorted({x for s in self.series for x in s.x})
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows: list[list[str]] = []
+        for x in xs:
+            row = [_format_number(x)]
+            for s in self.series:
+                try:
+                    idx = s.x.index(x)
+                except ValueError:
+                    row.append("-")
+                    continue
+                cell = _format_number(s.y[idx])
+                if s.y_err:
+                    cell += f" ±{_format_number(s.y_err[idx])}"
+                row.append(cell)
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            "  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+            "  " + "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """A JSON-serializable dict of the result."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "params": self.params,
+            "series": [
+                {"label": s.label, "x": s.x, "y": s.y, "y_err": s.y_err}
+                for s in self.series
+            ],
+            "notes": self.notes,
+        }
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the result JSON into ``directory``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id.lower()}.json"
+        path.write_text(json.dumps(self.to_json(), indent=2))
+        return path
+
+    def series_by_label(self, label: str) -> Series:
+        """Fetch one series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ConfigurationError(f"no series labelled {label!r}")
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.4g}"

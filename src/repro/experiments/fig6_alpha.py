@@ -1,0 +1,160 @@
+"""E1/E2 — average split fraction ᾱ (paper Fig. 6, §9.2).
+
+The paper inserts progressively larger datasets into LHT and reports the
+average α — the remote bucket's share of ``θ_split`` storage slots at
+each split — cumulated over the whole tree growth.  For uniform data the
+measured curve should match the closed form ``ᾱ = 1/2 + 1/(2θ)`` (the
+label slot's overhead); gaussian data deviates at small sizes and
+converges with scale.
+
+* **E1 (Fig. 6a)** — ᾱ vs. data size, for ``θ ∈ {40, 160}``;
+* **E2 (Fig. 6b)** — ᾱ vs. ``θ_split`` at a fixed data size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate, powers_of_two
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.dht.local import LocalDHT
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.workloads.datasets import make_keys
+
+__all__ = ["run", "run_fig6a", "run_fig6b", "expected_alpha"]
+
+_SCALES = {
+    "ci": {"exps": (8, 13), "trials": 3, "fixed_size_exp": 12},
+    "paper": {"exps": (8, 17), "trials": 10, "fixed_size_exp": 16},
+}
+
+_DISTRIBUTIONS = ("uniform", "gaussian")
+
+
+def expected_alpha(theta_split: int) -> float:
+    """The paper's closed form ``ᾱ = 1/2 + 1/(2θ)`` (§9.2)."""
+    return 0.5 + 1.0 / (2.0 * theta_split)
+
+
+def _scale_params(scale: str) -> dict:
+    try:
+        return _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+
+
+def _alpha_growth_curve(
+    distribution: str,
+    theta_split: int,
+    checkpoints: list[int],
+    trials: int,
+    seed: int,
+) -> tuple[list[float], list[float]]:
+    """Mean cumulative ᾱ at each size checkpoint, averaged over trials."""
+    per_checkpoint: list[list[float]] = [[] for _ in checkpoints]
+    for trial in range(trials):
+        rng = trial_rng(seed, f"fig6a:{distribution}:{theta_split}", trial)
+        keys = make_keys(distribution, checkpoints[-1], rng)
+        index = LHTIndex(
+            LocalDHT(n_peers=64, seed=trial),
+            IndexConfig(theta_split=theta_split, max_depth=24),
+        )
+        start = 0
+        for ci, size in enumerate(checkpoints):
+            index.bulk_load(float(k) for k in keys[start:size])
+            start = size
+            per_checkpoint[ci].append(index.ledger.average_alpha)
+    means = [aggregate(vals).mean for vals in per_checkpoint]
+    errs = [aggregate(vals).ci95_half_width for vals in per_checkpoint]
+    return means, errs
+
+
+def run_fig6a(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    """E1: average ᾱ vs data size for θ ∈ {40, 160} (Fig. 6a)."""
+    params = _scale_params(scale)
+    lo, hi = params["exps"]
+    checkpoints = powers_of_two(lo, hi)
+    series: list[Series] = []
+    for theta in (40, 160):
+        for distribution in _DISTRIBUTIONS:
+            means, errs = _alpha_growth_curve(
+                distribution, theta, checkpoints, params["trials"], seed
+            )
+            series.append(
+                Series(
+                    label=f"{distribution}/θ={theta}",
+                    x=[float(c) for c in checkpoints],
+                    y=means,
+                    y_err=errs,
+                )
+            )
+        series.append(
+            Series(
+                label=f"expected/θ={theta}",
+                x=[float(c) for c in checkpoints],
+                y=[expected_alpha(theta)] * len(checkpoints),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Average split fraction alpha vs data size (Fig. 6a)",
+        x_label="data size",
+        y_label="average alpha",
+        params={"scale": scale, "seed": seed, **params},
+        series=series,
+        notes="expected curve is the paper's 1/2 + 1/(2*theta)",
+    )
+
+
+def run_fig6b(scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    """E2: average ᾱ vs θ_split at a fixed data size (Fig. 6b)."""
+    params = _scale_params(scale)
+    size = 1 << params["fixed_size_exp"]
+    thetas = [20, 40, 60, 100, 160, 240, 320]
+    series: list[Series] = []
+    for distribution in _DISTRIBUTIONS:
+        means: list[float] = []
+        errs: list[float] = []
+        for theta in thetas:
+            samples = []
+            for trial in range(params["trials"]):
+                rng = trial_rng(seed, f"fig6b:{distribution}:{theta}", trial)
+                keys = make_keys(distribution, size, rng)
+                index = LHTIndex(
+                    LocalDHT(n_peers=64, seed=trial),
+                    IndexConfig(theta_split=theta, max_depth=24),
+                )
+                index.bulk_load(float(k) for k in keys)
+                samples.append(index.ledger.average_alpha)
+            agg = aggregate(samples)
+            means.append(agg.mean)
+            errs.append(agg.ci95_half_width)
+        series.append(
+            Series(
+                label=distribution,
+                x=[float(t) for t in thetas],
+                y=means,
+                y_err=errs,
+            )
+        )
+    series.append(
+        Series(
+            label="expected",
+            x=[float(t) for t in thetas],
+            y=[expected_alpha(t) for t in thetas],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Average split fraction alpha vs theta_split (Fig. 6b)",
+        x_label="theta_split",
+        y_label="average alpha",
+        params={"scale": scale, "seed": seed, "size": size},
+        series=series,
+        notes="expected curve is the paper's 1/2 + 1/(2*theta)",
+    )
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Run both Fig. 6 panels."""
+    return [run_fig6a(scale, seed), run_fig6b(scale, seed)]

@@ -1,0 +1,109 @@
+"""E3/E4 — cumulative maintenance cost, LHT vs PHT (paper Fig. 7, §9.2).
+
+Progressively larger datasets are inserted into both schemes (θ=100) and
+the cumulative *maintenance* traffic — the cost-model's two components —
+is recorded at each size checkpoint:
+
+* **E3 (Fig. 7a)** — moved records.  Expected shape: linear in data
+  size, with LHT ≈ half of PHT (one split moves half an LHT bucket but a
+  whole PHT bucket).
+* **E4 (Fig. 7b)** — DHT-lookups.  Expected shape: LHT ≈ a quarter of
+  PHT (1 lookup per LHT split vs 2 child puts + up to 2 link repairs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate, powers_of_two
+from repro.core.config import IndexConfig
+from repro.dht.local import LocalDHT
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    build_index,
+    trial_rng,
+)
+from repro.workloads.datasets import make_keys
+
+__all__ = ["run"]
+
+_SCALES = {
+    "ci": {"exps": (9, 13), "trials": 3},
+    "paper": {"exps": (10, 17), "trials": 10},
+}
+
+_THETA = 100
+_DISTRIBUTIONS = ("uniform", "gaussian")
+_SCHEMES = ("lht", "pht")
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Run both Fig. 7 panels; returns [E3 (moved records), E4 (lookups)]."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+    lo, hi = params["exps"]
+    checkpoints = powers_of_two(lo, hi)
+    config = IndexConfig(theta_split=_THETA, max_depth=24)
+
+    moved_series: list[Series] = []
+    lookup_series: list[Series] = []
+    for scheme in _SCHEMES:
+        for distribution in _DISTRIBUTIONS:
+            moved_cp: list[list[float]] = [[] for _ in checkpoints]
+            lookups_cp: list[list[float]] = [[] for _ in checkpoints]
+            for trial in range(params["trials"]):
+                rng = trial_rng(seed, f"fig7:{scheme}:{distribution}", trial)
+                keys = make_keys(distribution, checkpoints[-1], rng)
+                index = build_index(
+                    scheme, LocalDHT(n_peers=64, seed=trial), config, keys[:0]
+                )
+                start = 0
+                for ci, size in enumerate(checkpoints):
+                    index.bulk_load(float(k) for k in keys[start:size])
+                    start = size
+                    moved_cp[ci].append(
+                        index.ledger.maintenance_records_moved
+                    )
+                    lookups_cp[ci].append(index.ledger.maintenance_lookups)
+            label = f"{scheme}/{distribution}"
+            xs = [float(c) for c in checkpoints]
+            moved_series.append(
+                Series(
+                    label=label,
+                    x=xs,
+                    y=[aggregate(v).mean for v in moved_cp],
+                    y_err=[aggregate(v).ci95_half_width for v in moved_cp],
+                )
+            )
+            lookup_series.append(
+                Series(
+                    label=label,
+                    x=xs,
+                    y=[aggregate(v).mean for v in lookups_cp],
+                    y_err=[aggregate(v).ci95_half_width for v in lookups_cp],
+                )
+            )
+
+    common = {"scale": scale, "seed": seed, "theta_split": _THETA, **params}
+    return [
+        ExperimentResult(
+            experiment_id="E3",
+            title="Cumulative maintenance data movement (Fig. 7a)",
+            x_label="data size",
+            y_label="moved records",
+            params=common,
+            series=moved_series,
+            notes="expect LHT ~ 0.5x PHT",
+        ),
+        ExperimentResult(
+            experiment_id="E4",
+            title="Cumulative maintenance DHT-lookups (Fig. 7b)",
+            x_label="data size",
+            y_label="maintenance DHT-lookups",
+            params=common,
+            series=lookup_series,
+            notes="expect LHT ~ 0.25x PHT",
+        ),
+    ]

@@ -1,0 +1,224 @@
+"""E7-E10 — range query performance (paper Figs. 9-10, §9.4).
+
+Three algorithms are compared on identical query streams: LHT (Algs. 3-4),
+PHT(sequential) (lookup + leaf-link walk) and PHT(parallel) (LCA +
+parallel trie descent).  Two measures per query:
+
+* **bandwidth** — total DHT-lookups (Fig. 9);
+* **latency** — parallel steps of DHT-lookups, i.e. the longest
+  sequential chain (Fig. 10).
+
+Sweeps: data size at a fixed span (panels a), and span at a fixed data
+size (panels b); both uniform and gaussian datasets.  Expected shapes:
+PHT(parallel) has the highest bandwidth (it pays for every internal trie
+node); LHT and PHT(sequential) are both near-optimal (≈ B lookups), LHT
+slightly lower; PHT(sequential)'s latency is worst by roughly an order of
+magnitude; LHT's latency beats PHT(parallel), with the advantage
+shrinking for large uniform spans.
+
+One LHT and one PHT build per (distribution, size, trial) serve all three
+algorithms and all four result tables, so the harness computes E7-E10
+together.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate, powers_of_two
+from repro.core.config import IndexConfig
+from repro.dht.local import LocalDHT
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    build_index,
+    trial_rng,
+)
+from repro.workloads.datasets import make_keys
+from repro.workloads.queries import span_ranges
+
+__all__ = ["run", "ALGORITHMS"]
+
+_SCALES = {
+    "ci": {
+        "exps": (8, 13),
+        "trials": 3,
+        "n_queries": 30,
+        "fixed_size_exp": 12,
+        "size_sweep_span": 0.05,
+        "spans": [0.01, 0.02, 0.05, 0.1, 0.2, 0.4],
+    },
+    "paper": {
+        "exps": (10, 16),
+        "trials": 5,
+        "n_queries": 100,
+        "fixed_size_exp": 15,
+        "size_sweep_span": 0.05,
+        "spans": [0.01, 0.02, 0.05, 0.1, 0.2, 0.4],
+    },
+}
+
+_THETA = 100
+_MAX_DEPTH = 20
+_DISTRIBUTIONS = ("uniform", "gaussian")
+ALGORITHMS = ("lht", "pht-seq", "pht-par")
+
+
+def _measure_point(
+    distribution: str,
+    size: int,
+    span: float,
+    trials: int,
+    n_queries: int,
+    seed: int,
+    tag: str,
+) -> dict[str, tuple[float, float, float, float]]:
+    """Per-algorithm mean (bw, bw_err, lat, lat_err) at one sweep point."""
+    config = IndexConfig(theta_split=_THETA, max_depth=_MAX_DEPTH)
+    samples: dict[str, tuple[list[float], list[float]]] = {
+        algo: ([], []) for algo in ALGORITHMS
+    }
+    for trial in range(trials):
+        rng = trial_rng(seed, f"{tag}:{distribution}:{size}:{span}", trial)
+        keys = make_keys(distribution, size, rng)
+        lht = build_index("lht", LocalDHT(n_peers=64, seed=trial), config, keys)
+        pht = build_index("pht", LocalDHT(n_peers=64, seed=trial), config, keys)
+        queries = span_ranges(n_queries, span, rng)
+        runners = {
+            "lht": lambda q: lht.range_query(q.lo, q.hi),
+            "pht-seq": lambda q: pht.range_query_sequential(q.lo, q.hi),
+            "pht-par": lambda q: pht.range_query_parallel(q.lo, q.hi),
+        }
+        for algo, runner in runners.items():
+            bw = lat = 0.0
+            for query in queries:
+                result = runner(query)
+                bw += result.dht_lookups
+                lat += result.parallel_steps
+            samples[algo][0].append(bw / n_queries)
+            samples[algo][1].append(lat / n_queries)
+    out: dict[str, tuple[float, float, float, float]] = {}
+    for algo, (bw_list, lat_list) in samples.items():
+        bw_agg, lat_agg = aggregate(bw_list), aggregate(lat_list)
+        out[algo] = (
+            bw_agg.mean,
+            bw_agg.ci95_half_width,
+            lat_agg.mean,
+            lat_agg.ci95_half_width,
+        )
+    return out
+
+
+def _sweep(
+    xs: list[float],
+    point_params: list[tuple[int, float]],
+    params: dict,
+    seed: int,
+    tag: str,
+) -> tuple[list[Series], list[Series]]:
+    """Run one sweep; returns (bandwidth series, latency series)."""
+    collected: dict[str, dict[str, list[float]]] = {
+        f"{algo}/{distribution}": {"bw": [], "bw_err": [], "lat": [], "lat_err": []}
+        for algo in ALGORITHMS
+        for distribution in _DISTRIBUTIONS
+    }
+    for distribution in _DISTRIBUTIONS:
+        for size, span in point_params:
+            point = _measure_point(
+                distribution,
+                size,
+                span,
+                params["trials"],
+                params["n_queries"],
+                seed,
+                tag,
+            )
+            for algo in ALGORITHMS:
+                bw, bw_err, lat, lat_err = point[algo]
+                cell = collected[f"{algo}/{distribution}"]
+                cell["bw"].append(bw)
+                cell["bw_err"].append(bw_err)
+                cell["lat"].append(lat)
+                cell["lat_err"].append(lat_err)
+
+    bw_series = [
+        Series(label, list(xs), cell["bw"], cell["bw_err"])
+        for label, cell in collected.items()
+    ]
+    lat_series = [
+        Series(label, list(xs), cell["lat"], cell["lat_err"])
+        for label, cell in collected.items()
+    ]
+    return bw_series, lat_series
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Run the four range-performance experiments: E7, E8, E9, E10."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+    lo, hi = params["exps"]
+    sizes = powers_of_two(lo, hi)
+    fixed_size = 1 << params["fixed_size_exp"]
+    span = params["size_sweep_span"]
+
+    size_bw, size_lat = _sweep(
+        [float(s) for s in sizes],
+        [(s, span) for s in sizes],
+        params,
+        seed,
+        "range-size",
+    )
+    span_bw, span_lat = _sweep(
+        [float(s) for s in params["spans"]],
+        [(fixed_size, s) for s in params["spans"]],
+        params,
+        seed,
+        "range-span",
+    )
+
+    common = {
+        "scale": scale,
+        "seed": seed,
+        "theta_split": _THETA,
+        "max_depth": _MAX_DEPTH,
+        **params,
+    }
+    return [
+        ExperimentResult(
+            "E7",
+            "Range query bandwidth vs data size (Fig. 9a)",
+            "data size",
+            "DHT-lookups per query",
+            common,
+            size_bw,
+            notes=f"fixed span {span}; expect pht-par highest, lht lowest",
+        ),
+        ExperimentResult(
+            "E8",
+            "Range query bandwidth vs span (Fig. 9b)",
+            "query span",
+            "DHT-lookups per query",
+            common,
+            span_bw,
+            notes=f"fixed size {fixed_size}",
+        ),
+        ExperimentResult(
+            "E9",
+            "Range query latency vs data size (Fig. 10a)",
+            "data size",
+            "parallel DHT-lookup steps",
+            common,
+            size_lat,
+            notes="expect pht-seq worst by ~an order of magnitude",
+        ),
+        ExperimentResult(
+            "E10",
+            "Range query latency vs span (Fig. 10b)",
+            "query span",
+            "parallel DHT-lookup steps",
+            common,
+            span_lat,
+            notes=f"fixed size {fixed_size}; expect lht < pht-par",
+        ),
+    ]

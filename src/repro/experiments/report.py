@@ -1,0 +1,112 @@
+"""Render saved experiment results into a Markdown report.
+
+Reads the per-experiment JSON files that ``lht-experiments --out DIR``
+writes and produces a single Markdown document with one table per
+experiment — the form EXPERIMENTS.md uses for its paper-vs-measured
+record.
+
+Usage::
+
+    python -m repro.experiments.report results/paper > report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["load_result", "load_directory", "to_markdown", "main"]
+
+
+def load_result(path: Path) -> ExperimentResult:
+    """Load one saved experiment result from its JSON file."""
+    try:
+        data = json.loads(path.read_text())
+        return ExperimentResult(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            x_label=data["x_label"],
+            y_label=data["y_label"],
+            params=data["params"],
+            series=[
+                Series(s["label"], s["x"], s["y"], s.get("y_err", []))
+                for s in data["series"]
+            ],
+            notes=data.get("notes", ""),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed result file {path}: {exc}") from exc
+
+
+def load_directory(directory: str | Path) -> list[ExperimentResult]:
+    """Load every ``e*.json`` result in a directory, ordered by ID."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigurationError(f"not a directory: {directory}")
+    results = [load_result(p) for p in sorted(directory.glob("e*.json"))]
+    results.sort(key=lambda r: int(r.experiment_id.lstrip("E")))
+    return results
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    xs = sorted({x for s in result.series for x in s.x})
+    header = [result.x_label] + [s.label for s in result.series]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    for x in xs:
+        row = [_fmt(x)]
+        for s in result.series:
+            try:
+                idx = s.x.index(x)
+            except ValueError:
+                row.append("-")
+                continue
+            cell = _fmt(s.y[idx])
+            if s.y_err and s.y_err[idx]:
+                cell += f" ± {_fmt(s.y_err[idx])}"
+            row.append(cell)
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def to_markdown(results: list[ExperimentResult]) -> str:
+    """Render loaded results into one Markdown document."""
+    chunks = ["# Experiment results\n"]
+    for result in results:
+        chunks.append(f"## {result.experiment_id}: {result.title}\n")
+        chunks.append(
+            f"*x: {result.x_label}; y: {result.y_label}; "
+            f"scale: {result.params.get('scale', '?')}, "
+            f"seed: {result.params.get('seed', '?')}*\n"
+        )
+        chunks.append(_markdown_table(result) + "\n")
+        if result.notes:
+            chunks.append(f"> {result.notes}\n")
+    return "\n".join(chunks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Render saved experiment JSON into Markdown."
+    )
+    parser.add_argument("directory", help="directory of e*.json result files")
+    args = parser.parse_args(argv)
+    print(to_markdown(load_directory(args.directory)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

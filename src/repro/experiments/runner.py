@@ -1,0 +1,128 @@
+"""Experiment CLI: run any subset of the paper's figures and extensions.
+
+Usage (installed as ``lht-experiments``)::
+
+    lht-experiments --list
+    lht-experiments fig6 fig7 --scale ci --out results/
+    lht-experiments all --scale paper --seed 1
+
+Each experiment prints a text table mirroring the paper's plot and, with
+``--out``, writes machine-readable JSON per experiment ID.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    ablation_lookup,
+    churn_study,
+    churn_workload,
+    eq3_saving,
+    fig6_alpha,
+    fig7_maintenance,
+    fig8_lookup,
+    hotspots,
+    latency_study,
+    load_balance,
+    minmax_cost,
+    range_perf,
+    substrates,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["main", "EXPERIMENTS", "run_experiments"]
+
+#: name -> (description, runner)
+EXPERIMENTS: dict[str, tuple[str, Callable[[str, int], list[ExperimentResult]]]] = {
+    "fig6": ("E1/E2: average alpha (Fig. 6a-b)", fig6_alpha.run),
+    "fig7": ("E3/E4: maintenance cost (Fig. 7a-b)", fig7_maintenance.run),
+    "fig8": ("E5/E6: lookup performance (Fig. 8a-b)", fig8_lookup.run),
+    "range": ("E7-E10: range query perf (Figs. 9-10)", range_perf.run),
+    "eq3": ("E11: saving ratio vs gamma (Eq. 3)", eq3_saving.run),
+    "minmax": ("E12: min/max query cost (Thm. 3)", minmax_cost.run),
+    "substrates": ("E13: substrate independence", substrates.run),
+    "churn": ("E14: availability under churn", churn_study.run),
+    "balance": ("E15: storage load balance", load_balance.run),
+    "ablation": ("E16: lookup ablation (collapse vs search)", ablation_lookup.run),
+    "latency": ("E19: simulated wall latency", latency_study.run),
+    "workload": ("E20: maintenance under mixed workload", churn_workload.run),
+    "hotspots": ("E21: query-traffic hot spots", hotspots.run),
+}
+
+
+def run_experiments(
+    names: list[str], scale: str = "ci", seed: int = 0, out: str | None = None
+) -> list[ExperimentResult]:
+    """Run the named experiments and return all results."""
+    results: list[ExperimentResult] = []
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        started = time.perf_counter()
+        print(f"== {name}: {description} (scale={scale})", flush=True)
+        batch = runner(scale, seed)
+        elapsed = time.perf_counter() - started
+        for result in batch:
+            print(result.to_table())
+            print()
+            if out is not None:
+                path = result.save(out)
+                print(f"  saved: {path}")
+        print(f"  [{name} finished in {elapsed:.1f}s]\n", flush=True)
+        results.extend(batch)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lht-experiments",
+        description="Regenerate the LHT paper's figures and extensions.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="parameter scale: 'ci' is fast, 'paper' uses paper-sized sweeps",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--out", default=None, help="directory for per-experiment JSON output"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:12s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    run_experiments(names, scale=args.scale, seed=args.seed, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""E13 — substrate independence (paper §3: "adaptable to any DHT").
+
+LHT relies only on put/get, so its index-level costs (DHT-lookup counts)
+must be *identical* over every substrate — the paper's footnote 5 makes
+exactly this point — while the per-lookup physical hop count varies with
+the overlay (``O(log N)`` for all three routed substrates).  This
+experiment runs the same workload over Local/Chord/Kademlia/Pastry at
+several network sizes and reports:
+
+* mean physical hops per routed operation (grows ~ log N);
+* the index-level lookup count (asserted identical across substrates).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.common import (
+    ExperimentResult,
+    SUBSTRATES,
+    Series,
+    make_dht,
+    trial_rng,
+)
+from repro.workloads.datasets import make_keys
+from repro.workloads.queries import lookup_keys, span_ranges
+
+__all__ = ["run"]
+
+_SCALES = {
+    "ci": {"n_peers": [16, 64, 256], "size": 1 << 10, "n_lookups": 50},
+    "paper": {"n_peers": [16, 64, 256, 1024], "size": 1 << 12, "n_lookups": 200},
+}
+
+_THETA = 20
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Hop growth and index-cost invariance across substrates."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+    config = IndexConfig(theta_split=_THETA, max_depth=20)
+
+    hop_series: list[Series] = []
+    reference_lookup_cost: dict[int, float] = {}
+    for substrate in sorted(SUBSTRATES):
+        xs: list[float] = []
+        hops: list[float] = []
+        for n_peers in params["n_peers"]:
+            # The workload must be identical across substrates (the whole
+            # point of the invariance check), so the stream name omits the
+            # substrate.
+            rng = trial_rng(seed, f"substrates:{n_peers}", 0)
+            dht = make_dht(substrate, n_peers, seed)
+            index = LHTIndex(dht, config)
+            keys = make_keys("uniform", params["size"], rng)
+            for k in keys:
+                index.insert(float(k))
+            before = dht.metrics.snapshot()
+            total_index_lookups = 0
+            for probe in lookup_keys(params["n_lookups"], rng):
+                total_index_lookups += index.lookup(float(probe)).dht_lookups
+            for query in span_ranges(10, 0.05, rng):
+                total_index_lookups += index.range_query(
+                    query.lo, query.hi
+                ).dht_lookups
+            delta = dht.metrics.since(before)
+            xs.append(float(n_peers))
+            hops.append(delta.hops / delta.dht_lookups)
+
+            # Index-level lookup counts must not depend on the substrate.
+            expected = reference_lookup_cost.setdefault(
+                n_peers, float(total_index_lookups)
+            )
+            if float(total_index_lookups) != expected:
+                raise ReproError(
+                    f"index-level cost differs on {substrate} at N={n_peers}: "
+                    f"{total_index_lookups} != {expected}"
+                )
+        hop_series.append(Series(substrate, xs, hops))
+
+    return [
+        ExperimentResult(
+            experiment_id="E13",
+            title="Physical hops per DHT-lookup across substrates",
+            x_label="number of peers",
+            y_label="mean hops per routed operation",
+            params={"scale": scale, "seed": seed, "theta_split": _THETA, **params},
+            series=hop_series,
+            notes=(
+                "index-level DHT-lookup counts verified identical across "
+                "all substrates (paper footnote 5)"
+            ),
+        )
+    ]

@@ -1,0 +1,21 @@
+"""Multi-dimensional indexing over LHT via a space-filling curve.
+
+The paper's footnote 1: "One dimensional index structure can serve as an
+infrastructure for multi dimensional indexing (e.g., by using SFC)".
+This package implements that extension with the z-order (Morton) curve.
+"""
+
+from repro.multidim.index import MultiDimIndex, RectQueryResult
+from repro.multidim.zorder import (
+    decompose_rectangle,
+    zorder_decode,
+    zorder_encode,
+)
+
+__all__ = [
+    "MultiDimIndex",
+    "RectQueryResult",
+    "decompose_rectangle",
+    "zorder_decode",
+    "zorder_encode",
+]

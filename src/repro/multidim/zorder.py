@@ -1,0 +1,112 @@
+"""Z-order (Morton) space-filling curve over the unit hypercube.
+
+Each point in ``[0, 1)^d`` maps to a 1-D key in ``[0, 1)`` by interleaving
+the leading bits of its coordinates.  Axis-aligned rectangles decompose
+into a bounded set of contiguous 1-D key ranges (the curve's canonical
+cells), each answerable with one LHT range query.
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import key_bits
+from repro.errors import ConfigurationError, KeyOutOfRangeError
+
+__all__ = ["zorder_encode", "zorder_decode", "decompose_rectangle"]
+
+
+def zorder_encode(coords: tuple[float, ...], bits_per_dim: int = 16) -> float:
+    """Map a d-dimensional point to its z-order key in [0, 1).
+
+    Interleaves the first ``bits_per_dim`` bits of each coordinate,
+    cycling through dimensions (dimension 0 contributes the most
+    significant bit).
+    """
+    if not coords:
+        raise ConfigurationError("need at least one coordinate")
+    if bits_per_dim < 1:
+        raise ConfigurationError(f"bits_per_dim must be >= 1: {bits_per_dim}")
+    for c in coords:
+        if not 0.0 <= c < 1.0:
+            raise KeyOutOfRangeError(f"coordinate {c} outside [0, 1)")
+    dim_bits = [key_bits(c, bits_per_dim) for c in coords]
+    interleaved = "".join(
+        dim_bits[d][i] for i in range(bits_per_dim) for d in range(len(coords))
+    )
+    return int(interleaved, 2) / (1 << len(interleaved))
+
+
+def zorder_decode(
+    key: float, n_dims: int, bits_per_dim: int = 16
+) -> tuple[float, ...]:
+    """Invert :func:`zorder_encode` (returns the cell's lower corner)."""
+    if n_dims < 1:
+        raise ConfigurationError(f"n_dims must be >= 1: {n_dims}")
+    total_bits = n_dims * bits_per_dim
+    interleaved = key_bits(key, total_bits)
+    coords = []
+    for d in range(n_dims):
+        bits = interleaved[d::n_dims]
+        coords.append(int(bits, 2) / (1 << bits_per_dim) if bits else 0.0)
+    return tuple(coords)
+
+
+def decompose_rectangle(
+    lows: tuple[float, ...],
+    highs: tuple[float, ...],
+    bits_per_dim: int = 16,
+    max_cells: int = 64,
+) -> list[tuple[float, float]]:
+    """Decompose an axis-aligned query rectangle into z-order key ranges.
+
+    Recursively subdivides the z-order cells (each z prefix is a
+    hyper-rectangle): cells fully inside the query emit their exact key
+    interval; once the cell budget is hit, partially overlapping cells
+    emit their whole interval (callers filter records by true coordinate
+    membership, so over-approximation affects cost, not correctness).
+    Adjacent intervals are merged before returning.
+    """
+    if len(lows) != len(highs) or not lows:
+        raise ConfigurationError("lows/highs must be equal-length, non-empty")
+    if any(lo > hi for lo, hi in zip(lows, highs)):
+        raise ConfigurationError("rectangle has lo > hi")
+    n_dims = len(lows)
+    max_prefix = n_dims * bits_per_dim
+    intervals: list[tuple[float, float]] = []
+
+    def cell_bounds(prefix: str) -> tuple[list[float], list[float]]:
+        clows = []
+        chighs = []
+        for d in range(n_dims):
+            bits = prefix[d::n_dims]
+            width = 2.0 ** -len(bits)
+            base = int(bits, 2) * width if bits else 0.0
+            clows.append(base)
+            chighs.append(base + (width if bits else 1.0))
+        return clows, chighs
+
+    def visit(prefix: str, budget: list[int]) -> None:
+        clows, chighs = cell_bounds(prefix)
+        if any(ch <= lo or cl >= hi for cl, ch, lo, hi in zip(clows, chighs, lows, highs)):
+            return  # disjoint
+        contained = all(
+            lo <= cl and ch <= hi
+            for cl, ch, lo, hi in zip(clows, chighs, lows, highs)
+        )
+        if contained or len(prefix) >= max_prefix or budget[0] <= 1:
+            width = 2.0 ** -len(prefix)
+            base = int(prefix, 2) * width if prefix else 0.0
+            intervals.append((base, base + width))
+            return
+        budget[0] -= 1
+        visit(prefix + "0", budget)
+        visit(prefix + "1", budget)
+
+    visit("", [max_cells])
+    intervals.sort()
+    merged: list[tuple[float, float]] = []
+    for lo, hi in intervals:
+        if merged and merged[-1][1] >= lo:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

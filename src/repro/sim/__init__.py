@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation kernel.
+
+Provides the virtual clock, event queue, seeded random streams, and a
+latency-modelled message network used by the DHT substrates (notably the
+churn driver).  Everything is deterministic under a fixed seed.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "LatencyModel",
+    "Network",
+    "RngStreams",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,35 @@
+"""Virtual simulation clock."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonically advancing virtual clock.
+
+    Time is a float in arbitrary simulated units (the experiments treat it
+    as seconds).  Only the event loop advances the clock; components read
+    :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Advance the clock; rejects travel into the past."""
+        if when < self._now:
+            raise SimulationError(f"clock cannot go backwards: {when} < {self._now}")
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Clock(t={self._now:.6f})"

@@ -1,0 +1,142 @@
+"""Event queue and simulator loop.
+
+A classic discrete-event core: events are ``(time, sequence, action)``
+triples in a binary heap.  The sequence number makes ordering total and
+deterministic for simultaneous events (FIFO among equals), which keeps
+whole simulations bit-for-bit reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled event.
+
+    Orders by ``(time, seq)``; the action is excluded from comparison.
+    Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        event = Event(time, next(self._counter), action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Pop the earliest non-cancelled event, or ``None`` if drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Simulator:
+    """Drives a :class:`Clock` through an :class:`EventQueue`.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule_in(1.0, lambda: print("hello at t=1"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or Clock()
+        self.queue = EventQueue()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> Event:
+        """Schedule an action at an absolute time (not in the past)."""
+        if when < self.clock.now:
+            raise SimulationError(f"cannot schedule in the past: {when}")
+        return self.queue.push(when, action)
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule an action ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.queue.push(self.clock.now + delay, action)
+
+    def schedule_every(
+        self, period: float, action: Callable[[], None], *, until: float | None = None
+    ) -> None:
+        """Schedule a periodic action (first firing one period from now)."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive: {period}")
+
+        def fire() -> None:
+            action()
+            next_time = self.clock.now + period
+            if until is None or next_time <= until:
+                self.schedule_at(next_time, fire)
+
+        self.schedule_in(period, fire)
+
+    def step(self) -> bool:
+        """Process one event; return ``False`` when the queue is drained."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.action()
+        self.events_processed += 1
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Process events up to and including ``deadline``."""
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+        self.clock.advance_to(max(self.clock.now, deadline))
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until the queue drains (bounded against runaway loops)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(f"simulation exceeded {max_events} events")

@@ -1,0 +1,41 @@
+"""Named, independently seeded random streams.
+
+Each subsystem draws from its own :class:`numpy.random.Generator`, derived
+from a root seed plus the stream name.  Adding a new consumer of randomness
+therefore never perturbs the draws seen by existing consumers — experiment
+results stay stable as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngStreams", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from a root seed and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngStreams:
+    """A factory of named deterministic random generators."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name`` (created on first use)."""
+        if name not in self._streams:
+            self._streams[name] = np.random.default_rng(
+                derive_seed(self.root_seed, name)
+            )
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngStreams":
+        """A child stream family, independent of this one."""
+        return RngStreams(derive_seed(self.root_seed, f"fork:{name}"))

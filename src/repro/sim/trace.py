@@ -1,0 +1,49 @@
+"""Structured trace log for simulations and experiments.
+
+A lightweight append-only record of what happened and when — used by the
+churn experiments to reconstruct availability timelines, and handy when
+debugging distributed interactions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: time, category, and free-form details."""
+
+    time: float
+    category: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only event trace with simple filtering."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        """Append one record (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, details))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records with the given category, in time order."""
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

@@ -1,0 +1,41 @@
+"""Workload generation: datasets and query streams (paper §9.1, §9.4)."""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    clustered_keys,
+    gaussian_keys,
+    make_keys,
+    pareto_keys,
+    uniform_keys,
+)
+from repro.workloads.queries import (
+    RangeQuerySpec,
+    lookup_keys,
+    random_ranges,
+    span_ranges,
+)
+from repro.workloads.trace import (
+    Operation,
+    OpType,
+    WorkloadTrace,
+    generate_trace,
+    replay,
+)
+
+__all__ = [
+    "DATASETS",
+    "clustered_keys",
+    "gaussian_keys",
+    "make_keys",
+    "pareto_keys",
+    "uniform_keys",
+    "RangeQuerySpec",
+    "lookup_keys",
+    "random_ranges",
+    "span_ranges",
+    "Operation",
+    "OpType",
+    "WorkloadTrace",
+    "generate_trace",
+    "replay",
+]

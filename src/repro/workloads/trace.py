@@ -1,0 +1,153 @@
+"""Operation traces: generated mixed workloads and a replayer.
+
+The paper's motivation (§1) is that peer dynamism induces a continuous
+stream of record insertions and deletions.  A :class:`WorkloadTrace` is
+an explicit, replayable operation sequence — inserts, deletes, exact
+matches, range queries — that experiments and tests can run against any
+index implementing the common surface, with per-operation-type cost
+totals collected by :func:`replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import make_keys
+
+__all__ = ["OpType", "Operation", "WorkloadTrace", "generate_trace", "replay"]
+
+
+class OpType(str, Enum):
+    """Kinds of trace operations."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    LOOKUP = "lookup"
+    RANGE = "range"
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One trace step.
+
+    ``key`` is the subject key for insert/delete/lookup; range queries
+    use ``key`` as the lower bound and ``hi`` as the upper bound.
+    """
+
+    op: OpType
+    key: float
+    hi: float | None = None
+
+
+@dataclass(slots=True)
+class WorkloadTrace:
+    """A replayable operation sequence."""
+
+    operations: list[Operation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def counts(self) -> dict[OpType, int]:
+        """Number of operations per type."""
+        out: dict[OpType, int] = {op: 0 for op in OpType}
+        for operation in self.operations:
+            out[operation.op] += 1
+        return out
+
+
+def generate_trace(
+    n_ops: int,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+    mix: dict[OpType, float] | None = None,
+    range_span: float = 0.05,
+) -> WorkloadTrace:
+    """Generate a mixed trace.
+
+    ``mix`` gives the probability of each operation type (defaults to a
+    churn-flavoured 45% insert / 25% delete / 20% lookup / 10% range).
+    Deletes and lookups target previously inserted keys where possible,
+    so the trace exercises real hits, not just misses.
+    """
+    if n_ops < 0:
+        raise ConfigurationError(f"negative trace length: {n_ops}")
+    mix = mix or {
+        OpType.INSERT: 0.45,
+        OpType.DELETE: 0.25,
+        OpType.LOOKUP: 0.20,
+        OpType.RANGE: 0.10,
+    }
+    total = sum(mix.values())
+    if total <= 0:
+        raise ConfigurationError("operation mix must have positive mass")
+    kinds = list(mix)
+    probabilities = [mix[k] / total for k in kinds]
+
+    fresh = iter(make_keys(distribution, n_ops, rng))
+    live: list[float] = []
+    operations: list[Operation] = []
+    for _ in range(n_ops):
+        kind = kinds[int(rng.choice(len(kinds), p=probabilities))]
+        if kind is OpType.INSERT or (kind is OpType.DELETE and not live):
+            key = float(next(fresh))
+            live.append(key)
+            operations.append(Operation(OpType.INSERT, key))
+        elif kind is OpType.DELETE:
+            idx = int(rng.integers(0, len(live)))
+            operations.append(Operation(OpType.DELETE, live.pop(idx)))
+        elif kind is OpType.LOOKUP:
+            if live and rng.random() < 0.8:
+                key = live[int(rng.integers(0, len(live)))]
+            else:
+                key = float(rng.random())
+            operations.append(Operation(OpType.LOOKUP, key))
+        else:
+            lo = float(rng.random() * (1.0 - range_span))
+            operations.append(Operation(OpType.RANGE, lo, lo + range_span))
+    return WorkloadTrace(operations)
+
+
+def replay(index, trace: Iterable[Operation]) -> dict[str, float]:
+    """Run a trace against an LHT-like index; returns cost totals.
+
+    The index must expose ``insert``/``delete``/``exact_match``/
+    ``range_query`` (both :class:`~repro.core.index.LHTIndex` and the
+    harness-facing PHT adapter qualify).  Returns a dict with per-type
+    operation counts and DHT-lookup totals plus the maintenance ledger
+    deltas accumulated during the replay.
+    """
+    lookups: dict[str, float] = {op.value: 0.0 for op in OpType}
+    counts: dict[str, float] = {f"n_{op.value}": 0.0 for op in OpType}
+    maint_before = index.ledger.maintenance_lookups
+    moved_before = index.ledger.maintenance_records_moved
+    for operation in trace:
+        if operation.op is OpType.INSERT:
+            result = index.insert(operation.key)
+            cost = result if isinstance(result, int) else result.dht_lookups
+        elif operation.op is OpType.DELETE:
+            result = index.delete(operation.key)
+            cost = result[1] if isinstance(result, tuple) else result.dht_lookups
+        elif operation.op is OpType.LOOKUP:
+            _, cost = index.exact_match(operation.key)
+        else:
+            assert operation.hi is not None
+            cost = index.range_query(operation.key, operation.hi).dht_lookups
+        lookups[operation.op.value] += cost
+        counts[f"n_{operation.op.value}"] += 1
+    return {
+        **lookups,
+        **counts,
+        "maintenance_lookups": index.ledger.maintenance_lookups - maint_before,
+        "maintenance_records_moved": (
+            index.ledger.maintenance_records_moved - moved_before
+        ),
+    }

@@ -1,0 +1,61 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import IndexConfig, LHTIndex, ReferenceTree
+from repro.dht import LocalDHT
+
+# Simulation-heavy property tests routinely exceed hypothesis' default
+# 200ms deadline; disable it and cap example counts for CI friendliness.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_config() -> IndexConfig:
+    """A small split threshold so trees grow quickly in tests."""
+    return IndexConfig(theta_split=8, max_depth=20)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test workloads."""
+    return np.random.default_rng(12345)
+
+
+def build_lht(
+    keys: list[float],
+    theta_split: int = 8,
+    max_depth: int = 20,
+    n_peers: int = 32,
+    seed: int = 0,
+    merge_enabled: bool = False,
+) -> tuple[LHTIndex, LocalDHT]:
+    """Build an LHT over a LocalDHT from a key list (test helper)."""
+    config = IndexConfig(
+        theta_split=theta_split, max_depth=max_depth, merge_enabled=merge_enabled
+    )
+    dht = LocalDHT(n_peers=n_peers, seed=seed)
+    index = LHTIndex(dht, config)
+    for key in keys:
+        index.insert(key)
+    return index, dht
+
+
+def build_reference(
+    keys: list[float], theta_split: int = 8, max_depth: int = 20
+) -> ReferenceTree:
+    """Build the centralized oracle from the same key list."""
+    tree = ReferenceTree(IndexConfig(theta_split=theta_split, max_depth=max_depth))
+    for key in keys:
+        tree.insert(key)
+    return tree

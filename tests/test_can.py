@@ -1,0 +1,204 @@
+"""Tests for the CAN substrate (zones, greedy routing, membership)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IndexConfig, IndexInspector, LHTIndex
+from repro.dht.can import CANDHT, Zone, _try_merge
+from repro.errors import ConfigurationError, EmptyOverlayError
+
+
+class TestZone:
+    def test_contains_half_open(self):
+        zone = Zone((0.0, 0.0), (0.5, 0.5))
+        assert zone.contains((0.0, 0.49))
+        assert not zone.contains((0.5, 0.25))
+
+    def test_split_halves(self):
+        zone = Zone((0.0, 0.0), (1.0, 1.0))
+        lower, upper = zone.split(0)
+        assert lower.highs[0] == upper.lows[0] == 0.5
+        assert lower.volume() + upper.volume() == pytest.approx(1.0)
+
+    def test_distance_zero_inside(self):
+        zone = Zone((0.25, 0.25), (0.5, 0.5))
+        assert zone.distance_to((0.3, 0.3)) == 0.0
+        assert zone.distance_to((0.6, 0.3)) > 0.0
+
+    def test_torus_distance_wraps(self):
+        zone = Zone((0.9, 0.0), (1.0, 1.0))
+        # point at x=0.05 is 0.15 away across the wrap, not 0.85
+        assert zone.distance_to((0.05, 0.5)) < 0.15**2 + 1e-9
+
+    def test_adjacency(self):
+        left = Zone((0.0, 0.0), (0.5, 1.0))
+        right = Zone((0.5, 0.0), (1.0, 1.0))
+        assert left.adjacent(right)
+        assert right.adjacent(left)  # also via the torus wrap at x=0/1
+
+    def test_non_adjacent(self):
+        a = Zone((0.0, 0.0), (0.25, 0.25))
+        b = Zone((0.5, 0.5), (0.75, 0.75))
+        assert not a.adjacent(b)
+
+    def test_try_merge(self):
+        lower, upper = Zone((0.0, 0.0), (1.0, 1.0)).split(1)
+        merged = _try_merge(lower, upper)
+        assert merged == Zone((0.0, 0.0), (1.0, 1.0))
+        quarter = lower.split(0)[0]
+        assert _try_merge(quarter, upper) is None
+
+
+class TestCANDHT:
+    def test_partition_invariant(self):
+        CANDHT(n_peers=50, seed=0).check_partition()
+        CANDHT(n_peers=17, seed=3, dims=3).check_partition()
+
+    def test_routing_matches_placement(self):
+        dht = CANDHT(n_peers=40, seed=1)
+        for i in range(200):
+            key = f"k{i}"
+            node, hops = dht._route_key(key)
+            assert node.id == dht.peer_of(key)
+            assert hops >= 1
+
+    def test_put_get_remove(self):
+        dht = CANDHT(n_peers=25, seed=2)
+        dht.put("a", "x")
+        assert dht.get("a") == "x"
+        assert dht.get("b") is None
+        assert dht.remove("a") == "x"
+
+    def test_hops_scale_sublinearly(self):
+        dht = CANDHT(n_peers=256, seed=4)
+        total = 0
+        for i in range(100):
+            _, hops = dht._route_key(f"k{i}")
+            total += hops
+        # CAN: O(d * n^(1/d)) = O(2 * 16) for d=2, n=256; generous bound
+        assert total / 100 < 40
+
+    def test_join_transfers_keys(self):
+        dht = CANDHT(n_peers=10, seed=5)
+        for i in range(200):
+            dht.put(f"k{i}", i)
+        dht.join()
+        dht.check_partition()
+        for i in range(200):
+            assert dht.get(f"k{i}") == i
+
+    def test_buddy_leave(self):
+        dht = CANDHT(n_peers=2, seed=6)
+        for i in range(50):
+            dht.put(f"k{i}", i)
+        victim = dht.node_ids[1]
+        assert dht.leave(victim)
+        dht.check_partition()
+        assert dht.n_peers == 1
+        for i in range(50):
+            assert dht.get(f"k{i}") == i
+
+    def test_leave_refusal_keeps_partition_intact(self):
+        dht = CANDHT(n_peers=7, seed=7)
+        before = dht.n_peers
+        outcomes = [dht.leave(nid) for nid in list(dht.node_ids)]
+        # each successful leave removes exactly one node
+        assert dht.n_peers == before - sum(outcomes)
+        dht.check_partition()  # refused leaves must not corrupt zones
+
+    def test_cannot_remove_last(self):
+        dht = CANDHT(n_peers=1, seed=8)
+        with pytest.raises(EmptyOverlayError):
+            dht.leave(dht.node_ids[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CANDHT(n_peers=0)
+        with pytest.raises(ConfigurationError):
+            CANDHT(n_peers=4, dims=0)
+
+    def test_local_write(self):
+        dht = CANDHT(n_peers=8, seed=9)
+        dht.put("k", [1])
+        dht.local_write("k", [1, 2])
+        assert dht.peek("k") == [1, 2]
+
+
+class TestLHTOverCAN:
+    def test_full_index_battery(self):
+        dht = CANDHT(n_peers=30, seed=0)
+        index = LHTIndex(dht, IndexConfig(theta_split=10, max_depth=20))
+        keys = [float(k) for k in np.random.default_rng(0).random(500)]
+        for key in keys:
+            index.insert(key)
+        IndexInspector(dht).verify()
+        assert index.range_query(0.2, 0.6).keys == sorted(
+            k for k in keys if 0.2 <= k < 0.6
+        )
+        assert index.min_query().record.key == min(keys)
+        assert index.max_query().record.key == max(keys)
+
+    def test_index_counts_match_other_substrates(self):
+        from repro.dht import LocalDHT
+
+        keys = [float(k) for k in np.random.default_rng(1).random(400)]
+        config = IndexConfig(theta_split=10, max_depth=20)
+        over_can = LHTIndex(CANDHT(n_peers=16, seed=0), config)
+        over_local = LHTIndex(LocalDHT(16, 0), config)
+        for key in keys:
+            over_can.insert(key)
+            over_local.insert(key)
+        assert (
+            over_can.ledger.maintenance_lookups
+            == over_local.ledger.maintenance_lookups
+        )
+        probes = [float(p) for p in np.random.default_rng(2).random(50)]
+        can_costs = [over_can.lookup(p).dht_lookups for p in probes]
+        local_costs = [over_local.lookup(p).dht_lookups for p in probes]
+        assert can_costs == local_costs
+
+
+class TestZoneProperties:
+    """Hypothesis checks on zone geometry under random split sequences."""
+
+    def test_random_split_sequences_partition_space(self):
+        from hypothesis import given, strategies as st
+
+        @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1)),
+                        max_size=30))
+        def run(steps):
+            zones = [Zone((0.0, 0.0), (1.0, 1.0))]
+            for index, dim in steps:
+                target = zones.pop(index % len(zones))
+                zones.extend(target.split(dim))
+            total = sum(z.volume() for z in zones)
+            assert abs(total - 1.0) < 1e-9
+            # random probes land in exactly one zone
+            rng = np.random.default_rng(0)
+            for probe in rng.random((20, 2)):
+                point = (float(probe[0]), float(probe[1]))
+                assert sum(z.contains(point) for z in zones) == 1
+
+        run()
+
+    def test_adjacency_is_symmetric(self):
+        from hypothesis import given, strategies as st
+
+        zones_strategy = st.builds(
+            lambda x0, y0, wx, wy: Zone(
+                (x0 / 8, y0 / 8),
+                (min(1.0, x0 / 8 + wx / 8), min(1.0, y0 / 8 + wy / 8)),
+            ),
+            st.integers(0, 6),
+            st.integers(0, 6),
+            st.integers(1, 2),
+            st.integers(1, 2),
+        )
+
+        @given(zones_strategy, zones_strategy)
+        def run(a, b):
+            assert a.adjacent(b) == b.adjacent(a)
+
+        run()

@@ -1,0 +1,142 @@
+"""Tests for the Chord substrate: routing, membership, stabilization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dht.chord import ChordDHT
+from repro.dht.hashing import hash_key
+from repro.errors import ConfigurationError, EmptyOverlayError
+
+
+class TestRouting:
+    def test_owner_matches_placement_oracle(self):
+        dht = ChordDHT(n_peers=50, seed=3)
+        for i in range(300):
+            key = f"key-{i}"
+            node, _ = dht._route_key(key)
+            assert node.id == dht.peer_of(key)
+
+    def test_routing_from_every_start(self):
+        dht = ChordDHT(n_peers=25, seed=1)
+        target_key = hash_key("target", dht.id_bits)
+        owner = dht.peer_of("target")
+        for start in dht.node_ids:
+            found, hops = dht.find_successor(start, target_key)
+            assert found == owner
+            assert hops >= 1
+
+    def test_hops_logarithmic(self):
+        dht = ChordDHT(n_peers=256, seed=2)
+        total = 0
+        n_keys = 200
+        for i in range(n_keys):
+            _, hops = dht._route_key(f"k{i}")
+            total += hops
+        mean_hops = total / n_keys
+        # Chord's bound: O(log N); allow a generous constant.
+        assert mean_hops <= 2 * math.log2(256)
+
+    def test_single_node_ring(self):
+        dht = ChordDHT(n_peers=1, seed=0)
+        dht.put("a", 1)
+        assert dht.get("a") == 1
+
+    def test_put_get_remove(self):
+        dht = ChordDHT(n_peers=20, seed=0)
+        dht.put("a", "x")
+        assert dht.get("a") == "x"
+        assert dht.get("b") is None
+        assert dht.remove("a") == "x"
+        assert dht.get("a") is None
+
+    def test_ring_is_a_cycle(self):
+        ChordDHT(n_peers=40, seed=5).check_ring()
+
+
+class TestMembership:
+    def test_join_takes_over_keys(self):
+        dht = ChordDHT(n_peers=10, seed=0)
+        for i in range(200):
+            dht.put(f"k{i}", i)
+        new_id = dht.join()
+        dht.stabilize_all(rounds=2)
+        dht.check_ring()
+        assert dht.n_peers == 11
+        # All keys remain reachable, and the new node serves its share.
+        for i in range(200):
+            assert dht.get(f"k{i}") == i
+        assert new_id in dht.peer_loads()
+
+    def test_join_rejects_duplicate_id(self):
+        dht = ChordDHT(n_peers=5, seed=0)
+        existing = dht.node_ids[0]
+        with pytest.raises(ConfigurationError):
+            dht.join(existing)
+
+    def test_graceful_leave_hands_off_keys(self):
+        dht = ChordDHT(n_peers=10, seed=1)
+        for i in range(200):
+            dht.put(f"k{i}", i)
+        victim = dht.node_ids[3]
+        dht.leave(victim, graceful=True)
+        dht.stabilize_all(rounds=2)
+        dht.check_ring()
+        for i in range(200):
+            assert dht.get(f"k{i}") == i
+
+    def test_crash_loses_keys_but_ring_recovers(self):
+        dht = ChordDHT(n_peers=12, seed=2)
+        for i in range(200):
+            dht.put(f"k{i}", i)
+        loads = dht.peer_loads()
+        victim = max(loads, key=loads.get)
+        lost = loads[victim]
+        assert lost > 0
+        dht.fail(victim)
+        dht.stabilize_all(rounds=3)
+        dht.check_ring()
+        alive = sum(1 for i in range(200) if dht.get(f"k{i}") == i)
+        assert alive == 200 - lost
+
+    def test_cannot_remove_last_peer(self):
+        dht = ChordDHT(n_peers=1, seed=0)
+        with pytest.raises(EmptyOverlayError):
+            dht.leave(dht.node_ids[0])
+
+    def test_leave_unknown_node_is_noop(self):
+        dht = ChordDHT(n_peers=5, seed=0)
+        dht.leave(123456789)  # not a member
+        assert dht.n_peers == 5
+
+    def test_many_joins_and_leaves_converge(self):
+        dht = ChordDHT(n_peers=8, seed=4)
+        for _ in range(10):
+            dht.join()
+        dht.stabilize_all(rounds=3)
+        for victim in list(dht.node_ids)[::3]:
+            if dht.n_peers > 4:
+                dht.leave(victim, graceful=True)
+        dht.stabilize_all(rounds=3)
+        dht.check_ring()
+        # routing still agrees with the placement oracle
+        for i in range(100):
+            node, _ = dht._route_key(f"x{i}")
+            assert node.id == dht.peer_of(f"x{i}")
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ChordDHT(n_peers=0)
+        with pytest.raises(ConfigurationError):
+            ChordDHT(n_peers=4, id_bits=4)
+
+    def test_introspection(self):
+        dht = ChordDHT(n_peers=6, seed=0)
+        dht.put("a", 1)
+        assert dht.peek("a") == 1
+        assert "a" in list(dht.keys())
+        assert sum(dht.peer_loads().values()) == 1

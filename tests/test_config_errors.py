@@ -1,0 +1,64 @@
+"""Tests for configuration validation and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IndexConfig, DEFAULT_CONFIG
+from repro import errors
+
+
+class TestIndexConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_CONFIG.theta_split == 100  # §9.2 footnote
+        assert DEFAULT_CONFIG.max_depth == 20  # §9.3
+        assert not DEFAULT_CONFIG.merge_enabled
+
+    def test_record_capacity(self):
+        # one slot is the leaf label
+        assert IndexConfig(theta_split=100).record_capacity == 99
+
+    def test_merge_threshold_defaults_to_half(self):
+        assert IndexConfig(theta_split=100).merge_threshold == 50
+
+    def test_explicit_merge_threshold(self):
+        config = IndexConfig(theta_split=100, merge_threshold=30)
+        assert config.merge_threshold == 30
+
+    def test_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            IndexConfig(theta_split=1)
+        with pytest.raises(errors.ConfigurationError):
+            IndexConfig(max_depth=0)
+        with pytest.raises(errors.ConfigurationError):
+            IndexConfig(theta_split=10, merge_threshold=100)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.theta_split = 5  # type: ignore[misc]
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "LabelError",
+            "KeyOutOfRangeError",
+            "DepthExceededError",
+            "LookupError_",
+            "DHTError",
+            "NoSuchPeerError",
+            "EmptyOverlayError",
+            "RoutingError",
+            "SimulationError",
+            "ConfigurationError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_dht_errors_nest(self):
+        assert issubclass(errors.RoutingError, errors.DHTError)
+        assert issubclass(errors.EmptyOverlayError, errors.DHTError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.RoutingError("x")

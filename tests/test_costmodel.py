@@ -1,0 +1,86 @@
+"""Tests for the linear cost model (paper §8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import IndexConfig, LHTIndex
+from repro.baselines.pht import PHTIndex
+from repro.costmodel import LinearCostModel, gamma, psi_lht, psi_pht, saving_ratio
+from repro.dht import LocalDHT
+from repro.errors import ConfigurationError
+
+
+class TestAnalyticForms:
+    def test_equation_1(self):
+        # Ψ_LHT = θ/2·i + j
+        assert psi_lht(100, i=2.0, j=5.0) == 100.0 + 5.0
+
+    def test_equation_2(self):
+        # Ψ_PHT = θ·i + 4j
+        assert psi_pht(100, i=2.0, j=5.0) == 200.0 + 20.0
+
+    def test_equation_3_limits(self):
+        # γ → 0: 75% saving; γ → ∞: 50% saving.
+        assert saving_ratio(0.0) == pytest.approx(0.75)
+        assert saving_ratio(1e12) == pytest.approx(0.5, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_equation_3_bounds(self, g):
+        # The paper's claim: between 50% and 75% everywhere.
+        assert 0.5 < saving_ratio(g) <= 0.75
+
+    @given(
+        st.integers(2, 1000),
+        st.floats(min_value=0.001, max_value=100),
+        st.floats(min_value=0.001, max_value=100),
+    )
+    def test_equation_3_consistent_with_psi(self, theta, i, j):
+        direct = 1.0 - psi_lht(theta, i, j) / psi_pht(theta, i, j)
+        assert saving_ratio(gamma(theta, i, j)) == pytest.approx(direct)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            saving_ratio(-1.0)
+        with pytest.raises(ConfigurationError):
+            gamma(100, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            LinearCostModel(record_move_cost=-1.0)
+
+
+class TestMeasuredCosts:
+    def test_measured_saving_in_paper_band(self):
+        rng = np.random.default_rng(0)
+        keys = [float(k) for k in rng.random(4000)]
+        config = IndexConfig(theta_split=20, max_depth=24)
+        lht = LHTIndex(LocalDHT(16, 0), config)
+        pht = PHTIndex(LocalDHT(16, 0), config)
+        lht.bulk_load(keys)
+        pht.bulk_load(keys)
+        for g in (0.1, 1.0, 10.0, 100.0):
+            model = LinearCostModel(record_move_cost=g / 20, lookup_cost=1.0)
+            measured = model.measured_saving_ratio(lht.ledger, pht.ledger)
+            assert 0.45 <= measured <= 0.80
+            # measured tracks analytic within a loose tolerance
+            assert abs(measured - saving_ratio(g)) < 0.1
+
+    def test_ledger_cost(self):
+        model = LinearCostModel(record_move_cost=2.0, lookup_cost=3.0)
+        lht = LHTIndex(LocalDHT(8, 0), IndexConfig(theta_split=4))
+        for key in (0.1, 0.2, 0.3, 0.6):
+            lht.insert(key)
+        expected = (
+            lht.ledger.maintenance_records_moved * 2.0
+            + lht.ledger.maintenance_lookups * 3.0
+        )
+        assert model.ledger_cost(lht.ledger) == expected
+
+    def test_zero_pht_cost_rejected(self):
+        model = LinearCostModel()
+        lht = LHTIndex(LocalDHT(8, 0), IndexConfig(theta_split=4))
+        pht = PHTIndex(LocalDHT(8, 1), IndexConfig(theta_split=4))
+        with pytest.raises(ConfigurationError):
+            model.measured_saving_ratio(lht.ledger, pht.ledger)

@@ -1,0 +1,83 @@
+"""Unit tests for the LocalDHT backend and the metrics recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht import LocalDHT, MetricsRecorder
+from repro.errors import ConfigurationError
+
+
+class TestLocalDHT:
+    def test_put_get_remove(self):
+        dht = LocalDHT(n_peers=8, seed=0)
+        dht.put("a", 1)
+        assert dht.get("a") == 1
+        assert dht.remove("a") == 1
+        assert dht.get("a") is None
+        assert dht.remove("missing") is None
+
+    def test_contains_and_peek_cost_nothing(self):
+        dht = LocalDHT(n_peers=8, seed=0)
+        dht.put("a", 1)
+        before = dht.metrics.snapshot()
+        assert "a" in dht
+        assert dht.peek("a") == 1
+        assert list(dht.keys()) == ["a"]
+        assert dht.metrics.since(before).dht_lookups == 0
+
+    def test_metrics_accounting(self):
+        dht = LocalDHT(n_peers=16, seed=0)
+        dht.put("k", "v")
+        dht.get("k")
+        dht.get("missing")
+        dht.remove("k")
+        m = dht.metrics
+        assert m.puts == 1 and m.gets == 2 and m.removes == 1
+        assert m.dht_lookups == 4
+        assert m.failed_gets == 1
+        assert m.hops == 4 * 4  # ceil(log2(16)) per op
+
+    def test_placement_is_stable(self):
+        dht = LocalDHT(n_peers=32, seed=1)
+        assert dht.peer_of("key") == dht.peer_of("key")
+        dht2 = LocalDHT(n_peers=32, seed=1)
+        assert dht.peer_of("key") == dht2.peer_of("key")
+
+    def test_peer_loads_sum_to_key_count(self):
+        dht = LocalDHT(n_peers=8, seed=0)
+        for i in range(50):
+            dht.put(f"k{i}", i)
+        loads = dht.peer_loads()
+        assert sum(loads.values()) == 50
+        assert len(loads) == dht.n_peers == 8
+
+    def test_single_peer(self):
+        dht = LocalDHT(n_peers=1, seed=0)
+        dht.put("a", 1)
+        assert dht.get("a") == 1
+
+    def test_rejects_zero_peers(self):
+        with pytest.raises(ConfigurationError):
+            LocalDHT(n_peers=0)
+
+
+class TestMetricsRecorder:
+    def test_snapshot_subtraction(self):
+        rec = MetricsRecorder()
+        rec.record_put(3)
+        snap = rec.snapshot()
+        rec.record_get(5, found=False)
+        rec.record_moved_records(7)
+        delta = rec.since(snap)
+        assert delta.puts == 0 and delta.gets == 1
+        assert delta.dht_lookups == 1
+        assert delta.failed_gets == 1
+        assert delta.hops == 5
+        assert delta.records_moved == 7
+
+    def test_reset(self):
+        rec = MetricsRecorder()
+        rec.record_remove(2)
+        rec.reset()
+        assert rec.dht_lookups == 0 and rec.hops == 0

@@ -1,0 +1,147 @@
+"""Smoke tests for the heavier experiment modules at reduced scale.
+
+Each module's ``_SCALES`` table is monkeypatched with a tiny grid so the
+full code path (sweeps, aggregation, series assembly, shape notes) runs
+in milliseconds; the CI-scale defaults are exercised by the benchmark
+suite and the runner CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablation_lookup,
+    churn_study,
+    fig6_alpha,
+    fig7_maintenance,
+    fig8_lookup,
+    minmax_cost,
+    range_perf,
+    substrates,
+)
+
+
+@pytest.fixture
+def tiny(monkeypatch):
+    """Shrink every experiment's scale table to a toy grid."""
+    monkeypatch.setitem(
+        fig6_alpha._SCALES,
+        "tiny",
+        {"exps": (7, 9), "trials": 2, "fixed_size_exp": 8},
+    )
+    monkeypatch.setitem(
+        fig7_maintenance._SCALES, "tiny", {"exps": (7, 9), "trials": 2}
+    )
+    monkeypatch.setitem(
+        fig8_lookup._SCALES,
+        "tiny",
+        {"exps": (7, 9), "trials": 2, "n_lookups": 30},
+    )
+    monkeypatch.setitem(
+        range_perf._SCALES,
+        "tiny",
+        {
+            "exps": (7, 9),
+            "trials": 1,
+            "n_queries": 10,
+            "fixed_size_exp": 8,
+            "size_sweep_span": 0.1,
+            "spans": [0.05, 0.2],
+        },
+    )
+    monkeypatch.setitem(
+        ablation_lookup._SCALES,
+        "tiny",
+        {"exps": (7, 8), "trials": 1, "n_lookups": 30},
+    )
+    monkeypatch.setitem(
+        minmax_cost._SCALES, "tiny", {"exps": (7, 9), "trials": 2}
+    )
+    monkeypatch.setitem(
+        substrates._SCALES,
+        "tiny",
+        {"n_peers": [8, 16], "size": 1 << 8, "n_lookups": 10},
+    )
+    monkeypatch.setitem(
+        churn_study._SCALES,
+        "tiny",
+        {"n_peers": 16, "size": 1 << 8, "duration": 5.0, "probes": 30},
+    )
+    return "tiny"
+
+
+class TestFig6(object):
+    def test_alpha_curves(self, tiny):
+        e1, e2 = fig6_alpha.run(tiny, seed=0)
+        assert e1.experiment_id == "E1" and e2.experiment_id == "E2"
+        # alpha stays within sane bounds wherever splits occurred
+        # (NaN marks checkpoints before the first split at large θ)
+        import math
+
+        for series in e1.series:
+            assert all(0.4 < y < 0.7 for y in series.y if not math.isnan(y))
+        assert len(e2.series_by_label("uniform").y) == 7
+
+
+class TestFig7(object):
+    def test_monotone_cumulative_costs(self, tiny):
+        e3, e4 = fig7_maintenance.run(tiny, seed=0)
+        for result in (e3, e4):
+            for series in result.series:
+                assert series.y == sorted(series.y)  # cumulative => monotone
+        lht = e4.series_by_label("lht/uniform").y[-1]
+        pht = e4.series_by_label("pht/uniform").y[-1]
+        assert lht < pht
+
+
+class TestFig8(object):
+    def test_lht_below_pht(self, tiny):
+        e5, e6 = fig8_lookup.run(tiny, seed=0)
+        for result in (e5, e6):
+            lht = sum(result.series_by_label("lht").y)
+            pht = sum(result.series_by_label("pht").y)
+            assert lht < pht
+            assert "saving ratio" in result.notes
+
+
+class TestRangePerf(object):
+    def test_all_four_results(self, tiny):
+        results = range_perf.run(tiny, seed=0)
+        assert [r.experiment_id for r in results] == ["E7", "E8", "E9", "E10"]
+        e7, e8, e9, e10 = results
+        # bandwidth ordering at the widest span point
+        par = e8.series_by_label("pht-par/uniform").y[-1]
+        lht = e8.series_by_label("lht/uniform").y[-1]
+        assert lht < par
+        # latency: sequential is the worst at the widest span
+        seq = e10.series_by_label("pht-seq/uniform").y[-1]
+        lht_lat = e10.series_by_label("lht/uniform").y[-1]
+        assert lht_lat < seq
+
+
+class TestOthers(object):
+    def test_ablation(self, tiny):
+        (result,) = ablation_lookup.run(tiny, seed=0)
+        assert len(result.series) == 4
+
+    def test_minmax(self, tiny):
+        (result,) = minmax_cost.run(tiny, seed=0)
+        assert all(y == 1 for y in result.series_by_label("lht-min").y)
+        assert all(y == 1 for y in result.series_by_label("lht-max").y)
+
+    def test_substrates(self, tiny):
+        (result,) = substrates.run(tiny, seed=0)
+        assert {s.label for s in result.series} == {
+            "can",
+            "chord",
+            "kademlia",
+            "local",
+            "pastry",
+            "tapestry",
+        }
+
+    def test_churn(self, tiny):
+        (result,) = churn_study.run(tiny, seed=0)
+        exact = result.series_by_label("exact-match availability")
+        assert exact.y[0] == 1.0  # graceful-only churn loses nothing

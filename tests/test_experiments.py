@@ -1,0 +1,161 @@
+"""Tests for the experiment harness: utilities, fast experiments, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import runner
+from repro.experiments.common import (
+    ExperimentResult,
+    SUBSTRATES,
+    Series,
+    make_dht,
+    trial_rng,
+)
+from repro.experiments import eq3_saving, fig6_alpha, load_balance, minmax_cost
+
+
+class TestSeries:
+    def test_validates_lengths(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", [1.0, 2.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            Series("s", [1.0], [1.0], y_err=[0.1, 0.2])
+
+    def test_ok(self):
+        s = Series("s", [1.0, 2.0], [3.0, 4.0], y_err=[0.1, 0.2])
+        assert s.label == "s"
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            params={"p": 1},
+            series=[
+                Series("a", [1.0, 2.0], [10.0, 20.0]),
+                Series("b", [2.0, 3.0], [30.0, 40.0], y_err=[1.0, 2.0]),
+            ],
+            notes="hello",
+        )
+
+    def test_table_rendering(self):
+        table = self._result().to_table()
+        assert "EX: demo" in table
+        assert "hello" in table
+        # x=1 appears only in series a; series b shows '-'
+        line = next(l for l in table.splitlines() if l.strip().startswith("1 "))
+        assert "-" in line
+
+    def test_json_roundtrip(self):
+        data = self._result().to_json()
+        assert json.dumps(data)  # serializable
+        assert data["series"][1]["y_err"] == [1.0, 2.0]
+
+    def test_save(self, tmp_path):
+        path = self._result().save(tmp_path)
+        assert path.exists()
+        assert json.loads(path.read_text())["experiment_id"] == "EX"
+
+    def test_series_by_label(self):
+        result = self._result()
+        assert result.series_by_label("a").y == [10.0, 20.0]
+        with pytest.raises(ConfigurationError):
+            result.series_by_label("zzz")
+
+
+class TestCommonHelpers:
+    def test_make_dht_all_substrates(self):
+        for name in SUBSTRATES:
+            dht = make_dht(name, 8, 0)
+            dht.put("k", 1)
+            assert dht.get("k") == 1
+
+    def test_make_dht_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_dht("napster", 8, 0)
+
+    def test_trial_rng_deterministic_and_distinct(self):
+        a = trial_rng(0, "x", 0).random(3)
+        b = trial_rng(0, "x", 0).random(3)
+        c = trial_rng(0, "x", 1).random(3)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+
+class TestFastExperiments:
+    def test_eq3(self):
+        (result,) = eq3_saving.run("ci", seed=0)
+        measured = result.series_by_label("measured")
+        assert all(0.45 <= y <= 0.80 for y in measured.y)
+        analytic = result.series_by_label("analytic @ sweep")
+        for got, want in zip(measured.y, analytic.y):
+            assert abs(got - want) < 0.1
+
+    def test_unknown_scale_rejected(self):
+        for module in (eq3_saving, fig6_alpha, minmax_cost, load_balance):
+            with pytest.raises(ConfigurationError):
+                module.run("galactic")
+
+    def test_expected_alpha(self):
+        assert fig6_alpha.expected_alpha(100) == pytest.approx(0.505)
+
+    def test_load_balance(self):
+        (result,) = load_balance.run("ci", seed=0)
+        lht = result.series_by_label("lht")
+        # skew-independence: Gini varies little across distributions
+        assert max(lht.y) - min(lht.y) < 0.2
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "range" in out
+
+    def test_no_args_lists(self, capsys):
+        assert runner.main([]) == 0
+        assert "fig7" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert runner.main(["figure99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_and_saves(self, tmp_path, capsys):
+        code = runner.main(["eq3", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E11" in out
+        assert (tmp_path / "e11.json").exists()
+
+    def test_registry_covers_all_experiment_ids(self):
+        names = set(runner.EXPERIMENTS)
+        assert names == {
+            "fig6",
+            "fig7",
+            "fig8",
+            "range",
+            "eq3",
+            "minmax",
+            "substrates",
+            "churn",
+            "balance",
+            "ablation",
+            "latency",
+            "workload",
+            "hotspots",
+        }
+
+    def test_latency_experiment(self):
+        from repro.experiments import latency_study
+
+        (result,) = latency_study.run("ci", seed=0)
+        medians = result.series_by_label("median")
+        lht, pht_seq, pht_par = medians.y
+        assert lht < pht_par < pht_seq

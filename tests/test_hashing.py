@@ -1,0 +1,86 @@
+"""Unit tests for consistent-hashing primitives."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.hashing import (
+    ID_BITS,
+    ID_SPACE,
+    hash_key,
+    in_half_open_interval,
+    in_open_interval,
+    ring_distance,
+)
+
+ids = st.integers(0, 255)
+
+
+class TestHashKey:
+    def test_deterministic(self):
+        assert hash_key("abc") == hash_key("abc")
+        assert hash_key("abc") != hash_key("abd")
+
+    def test_range(self):
+        assert 0 <= hash_key("x") < ID_SPACE
+
+    def test_truncation(self):
+        assert 0 <= hash_key("x", bits=16) < (1 << 16)
+        assert hash_key("x", bits=16) == hash_key("x") >> (ID_BITS - 16)
+
+
+class TestRingDistance:
+    def test_forward(self):
+        assert ring_distance(2, 5, space=16) == 3
+
+    def test_wraparound(self):
+        assert ring_distance(14, 2, space=16) == 4
+
+    def test_self(self):
+        assert ring_distance(7, 7, space=16) == 0
+
+    @given(ids, ids)
+    def test_antisymmetric_modulo(self, a, b):
+        space = 256
+        if a != b:
+            assert ring_distance(a, b, space) + ring_distance(b, a, space) == space
+
+
+class TestIntervals:
+    def test_open_interval_simple(self):
+        assert in_open_interval(3, 2, 5, space=16)
+        assert not in_open_interval(2, 2, 5, space=16)
+        assert not in_open_interval(5, 2, 5, space=16)
+
+    def test_open_interval_wraps(self):
+        assert in_open_interval(15, 14, 2, space=16)
+        assert in_open_interval(1, 14, 2, space=16)
+        assert not in_open_interval(5, 14, 2, space=16)
+
+    def test_degenerate_open_interval_is_whole_ring(self):
+        # (x, x) on a ring means "everything except x" — Chord's
+        # single-node convention.
+        assert in_open_interval(5, 3, 3, space=16)
+        assert not in_open_interval(3, 3, 3, space=16)
+
+    def test_half_open_includes_upper(self):
+        assert in_half_open_interval(5, 2, 5, space=16)
+        assert not in_half_open_interval(2, 2, 5, space=16)
+
+    def test_half_open_degenerate_is_everything(self):
+        assert in_half_open_interval(9, 4, 4, space=16)
+
+    @given(ids, ids, ids)
+    def test_open_matches_linear_scan(self, x, lo, hi):
+        space = 256
+        expected = False
+        cursor = (lo + 1) % space
+        while cursor != hi and cursor != lo:
+            if cursor == x:
+                expected = True
+                break
+            cursor = (cursor + 1) % space
+        if lo == hi:
+            expected = x != lo
+        assert in_open_interval(x, lo, hi, space) == expected

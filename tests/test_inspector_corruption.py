@@ -1,0 +1,99 @@
+"""Corruption-detection tests: the inspector must catch broken states.
+
+These inject specific inconsistencies into an otherwise healthy
+distributed index and assert :meth:`IndexInspector.verify` rejects each
+one — guaranteeing the verifier used throughout the suite actually has
+teeth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IndexConfig,
+    IndexInspector,
+    Label,
+    LeafBucket,
+    LHTIndex,
+    Record,
+    naming,
+)
+from repro.dht import LocalDHT
+from repro.errors import ReproError
+
+
+def _healthy() -> tuple[LHTIndex, LocalDHT]:
+    dht = LocalDHT(16, 0)
+    index = LHTIndex(dht, IndexConfig(theta_split=4, max_depth=20))
+    for key in np.random.default_rng(0).random(100):
+        index.insert(float(key))
+    IndexInspector(dht).verify()  # sanity: healthy before corruption
+    return index, dht
+
+
+class TestCorruptionDetection:
+    def test_bucket_under_wrong_key(self):
+        _, dht = _healthy()
+        label = Label.parse("#01110011")  # not a leaf of this tree
+        some_bucket = next(
+            b for k in dht.keys() if isinstance(b := dht.peek(k), LeafBucket)
+        )
+        dht.put(str(label), some_bucket)
+        with pytest.raises(ReproError, match="stored under"):
+            IndexInspector(dht).verify()
+
+    def test_duplicate_leaf(self):
+        _, dht = _healthy()
+        # Stash a copy of an existing leaf under an unused internal name.
+        bucket = next(
+            b for k in dht.keys() if isinstance(b := dht.peek(k), LeafBucket)
+        )
+        clone = LeafBucket(bucket.label, list(bucket.records))
+        # Find a key whose naming matches — impossible, so place it under
+        # its correct name but in a second slot via a bogus label first.
+        dht.put(str(naming(clone.label)) + "#dup", clone)
+        # A non-label key makes parse fail; inspector must ignore only
+        # non-bucket values, so craft a *valid* duplicate instead:
+        dht.remove(str(naming(clone.label)) + "#dup")
+        deep = clone.label.left_child
+        dup = LeafBucket(deep)
+        dht.put(str(naming(dup.label)), dup)
+        with pytest.raises(ReproError, match="gap or overlap|duplicate"):
+            IndexInspector(dht).verify()
+
+    def test_record_outside_leaf(self):
+        _, dht = _healthy()
+        bucket = next(
+            b
+            for k in dht.keys()
+            if isinstance(b := dht.peek(k), LeafBucket) and b.label.depth > 1
+        )
+        # Bypass the validated API to plant a foreign record.
+        foreign_key = (
+            0.99 if not bucket.label.contains(0.99) else 0.0001
+        )
+        bucket._records.append(Record(foreign_key))  # noqa: SLF001
+        with pytest.raises(ReproError, match="outside"):
+            IndexInspector(dht).verify()
+
+    def test_missing_leaf_leaves_gap(self):
+        _, dht = _healthy()
+        label_key = next(
+            k
+            for k in dht.keys()
+            if isinstance(b := dht.peek(k), LeafBucket) and b.label.depth > 1
+        )
+        dht.remove(label_key)
+        with pytest.raises(ReproError):
+            IndexInspector(dht).verify()
+
+    def test_empty_store_rejected(self):
+        dht = LocalDHT(4, 0)
+        with pytest.raises(ReproError, match="no leaf buckets"):
+            IndexInspector(dht).verify()
+
+    def test_healthy_state_passes(self):
+        _, dht = _healthy()
+        IndexInspector(dht).verify()

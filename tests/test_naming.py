@@ -1,0 +1,220 @@
+"""Unit and property tests for the naming-function family (Defs. 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.keys import mu_path
+from repro.core.label import Label, ROOT, VIRTUAL_ROOT
+from repro.core.naming import (
+    lca_label,
+    left_neighbor,
+    leftmost_leaf_key,
+    naming,
+    next_naming,
+    right_neighbor,
+    rightmost_leaf_key,
+)
+from repro.errors import LabelError
+
+leaf_labels = st.text(alphabet="01", min_size=1, max_size=16).map(
+    lambda s: Label("0" + s)
+)
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "leaf, name",
+        [
+            ("#01100", "#011"),  # paper's first example
+            ("#01011", "#010"),  # paper's second example
+            ("#01111", "#0"),  # Fig. 4
+            ("#0000", "#"),
+            ("#0", "#"),  # single-leaf tree: root named to virtual root
+            ("#00", "#"),
+            ("#01", "#0"),
+            ("#0101", "#010"),
+        ],
+    )
+    def test_paper_examples(self, leaf: str, name: str):
+        assert naming(Label.parse(leaf)) == Label.parse(name)
+
+    def test_undefined_on_virtual_root(self):
+        with pytest.raises(LabelError):
+            naming(VIRTUAL_ROOT)
+
+    @given(leaf_labels)
+    def test_result_is_proper_prefix(self, leaf: Label):
+        name = naming(leaf)
+        assert name.is_proper_prefix_of(leaf)
+
+    @given(leaf_labels)
+    def test_strips_exactly_the_trailing_run(self, leaf: Label):
+        name = naming(leaf)
+        stripped = leaf.bits[len(name.bits):]
+        assert stripped  # at least one bit removed
+        assert set(stripped) == {leaf.last_bit}
+        if name.bits:
+            assert name.last_bit != leaf.last_bit
+
+    @given(leaf_labels)
+    def test_idempotent_composition_shrinks(self, leaf: Label):
+        # Repeated application must reach the virtual root.
+        current = leaf
+        for _ in range(leaf.depth + 1):
+            if current.is_virtual_root:
+                break
+            current = naming(current)
+        assert current.is_virtual_root
+
+
+class TestNextNaming:
+    def test_paper_example(self):
+        # f_nn(#0011, #0011100) = #001110
+        assert next_naming(
+            Label.parse("#0011"), Label.parse("#0011100")
+        ) == Label.parse("#001110")
+
+    def test_skips_same_bit_run(self):
+        assert next_naming(
+            Label.parse("#01"), Label.parse("#0111101")
+        ) == Label.parse("#011110")
+
+    def test_requires_proper_prefix(self):
+        with pytest.raises(LabelError):
+            next_naming(Label.parse("#01"), Label.parse("#01"))
+        with pytest.raises(LabelError):
+            next_naming(Label.parse("#010"), Label.parse("#0110"))
+
+    def test_no_next_name_when_bits_identical(self):
+        with pytest.raises(LabelError):
+            next_naming(Label.parse("#011"), Label.parse("#01111"))
+
+    @given(leaf_labels, st.text(alphabet="01", min_size=1, max_size=8))
+    def test_shared_name_class(self, x: Label, suffix: str):
+        """All prefixes strictly between x and f_nn(x, μ) share f_n(x).
+
+        This is the property that lets Alg. 2 skip probes.
+        """
+        mu = x.extend(suffix)
+        try:
+            nxt = next_naming(x, mu)
+        except LabelError:
+            return  # suffix continued with identical bits: nothing between
+        for length in range(x.length + 1, nxt.length):
+            between = mu.prefix(length)
+            assert naming(between) == naming(x)
+
+
+class TestNeighbors:
+    @pytest.mark.parametrize(
+        "node, expected",
+        [
+            ("#000", "#001"),
+            ("#001", "#01"),
+            ("#0100", "#0101"),
+            ("#0011", "#01"),
+        ],
+    )
+    def test_right_neighbor(self, node: str, expected: str):
+        assert right_neighbor(Label.parse(node)) == Label.parse(expected)
+
+    @pytest.mark.parametrize("node", ["#0", "#01", "#0111", "#"])
+    def test_rightmost_maps_to_self(self, node: str):
+        label = Label.parse(node)
+        assert right_neighbor(label) == label
+
+    @pytest.mark.parametrize(
+        "node, expected",
+        [
+            ("#001", "#000"),
+            ("#01", "#00"),
+            ("#0101", "#0100"),
+            ("#0100", "#00"),
+        ],
+    )
+    def test_left_neighbor(self, node: str, expected: str):
+        assert left_neighbor(Label.parse(node)) == Label.parse(expected)
+
+    @pytest.mark.parametrize("node", ["#0", "#00", "#0000", "#"])
+    def test_leftmost_maps_to_self(self, node: str):
+        label = Label.parse(node)
+        assert left_neighbor(label) == label
+
+    @given(leaf_labels)
+    def test_right_neighbor_interval_is_adjacent(self, node: Label):
+        """f_rn(x)'s interval starts exactly where x's ends (the sweep
+        decomposition of §6.1 depends on this)."""
+        neighbor = right_neighbor(node)
+        if neighbor == node:
+            assert node.on_rightmost_spine
+        else:
+            assert neighbor.interval.low == node.interval.high
+
+    @given(leaf_labels)
+    def test_left_neighbor_interval_is_adjacent(self, node: Label):
+        neighbor = left_neighbor(node)
+        if neighbor == node:
+            assert node.on_leftmost_spine
+        else:
+            assert neighbor.interval.high == node.interval.low
+
+    @given(leaf_labels)
+    def test_right_neighbor_ends_with_one(self, node: Label):
+        neighbor = right_neighbor(node)
+        if neighbor != node:
+            assert neighbor.last_bit == "1"
+
+    @given(leaf_labels)
+    def test_left_neighbor_ends_with_zero(self, node: Label):
+        neighbor = left_neighbor(node)
+        if neighbor != node:
+            assert neighbor.last_bit == "0"
+
+
+class TestExtremeLeafKeys:
+    @given(leaf_labels, st.integers(0, 6))
+    def test_rightmost_leaf_key(self, subtree: Label, extra_ones: int):
+        leaf = subtree.extend("1" * extra_ones)
+        # The rightmost leaf of the subtree is subtree + 1…1; its storage
+        # key must equal rightmost_leaf_key(subtree).
+        assert naming(leaf) == rightmost_leaf_key(subtree) or extra_ones == 0
+
+    @given(leaf_labels, st.integers(1, 6))
+    def test_rightmost_leaf_key_strict(self, subtree: Label, extra_ones: int):
+        leaf = subtree.extend("1" * extra_ones)
+        assert naming(leaf) == rightmost_leaf_key(subtree)
+
+    @given(leaf_labels, st.integers(1, 6))
+    def test_leftmost_leaf_key_strict(self, subtree: Label, extra_zeros: int):
+        leaf = subtree.extend("0" * extra_zeros)
+        assert naming(leaf) == leftmost_leaf_key(subtree)
+
+    def test_virtual_root_keys(self):
+        assert leftmost_leaf_key(VIRTUAL_ROOT) == VIRTUAL_ROOT
+        assert rightmost_leaf_key(VIRTUAL_ROOT) == naming(ROOT)
+
+
+class TestLCA:
+    def test_paper_example(self):
+        # §6.2: LCA of [0.2, 0.6) is #0.
+        lo = mu_path(0.2, 14)
+        hi = mu_path(0.6, 14)
+        assert lca_label(lo, hi) == ROOT
+
+    def test_same_path(self):
+        path = mu_path(0.3, 10)
+        assert lca_label(path, path) == path
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+        st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+    )
+    def test_lca_contains_both(self, a: float, b: float):
+        pa, pb = mu_path(a, 16), mu_path(b, 16)
+        lca = lca_label(pa, pb)
+        assert lca.is_prefix_of(pa) and lca.is_prefix_of(pb)
+        if not lca.is_virtual_root:
+            assert lca.contains(a) and lca.contains(b)

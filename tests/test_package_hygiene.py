@@ -1,0 +1,73 @@
+"""Package hygiene guards: docstrings, ``__all__`` consistency, exports.
+
+Cheap meta-tests that keep the public surface honest as the codebase
+grows: every module documents itself, every ``__all__`` name exists, and
+the top-level package re-exports what the README promises.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules() -> list[str]:
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return sorted(names)
+
+
+ALL_MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("name", ALL_MODULES)
+def test_module_has_docstring(name: str):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20, f"{name} docstring is a stub"
+
+
+@pytest.mark.parametrize("name", ALL_MODULES)
+def test_dunder_all_names_exist(name: str):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_top_level_exports():
+    for symbol in (
+        "LHTIndex",
+        "PHTIndex",
+        "IndexConfig",
+        "LocalDHT",
+        "ChordDHT",
+        "CANDHT",
+        "KademliaDHT",
+        "PastryDHT",
+        "MultiDimIndex",
+        "LinearCostModel",
+        "ReferenceTree",
+    ):
+        assert hasattr(repro, symbol), f"repro.{symbol} missing"
+        assert symbol in repro.__all__
+
+
+def test_public_classes_have_docstrings():
+    for symbol in repro.__all__:
+        if symbol.startswith("__"):
+            continue
+        obj = getattr(repro, symbol)
+        if isinstance(obj, type):
+            assert obj.__doc__, f"repro.{symbol} lacks a class docstring"
+
+
+def test_version_is_set():
+    assert repro.__version__ == "1.0.0"

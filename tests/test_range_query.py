@@ -1,0 +1,165 @@
+"""Tests for LHT range queries (paper §6, Algs. 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    IndexConfig,
+    Label,
+    LHTIndex,
+    Range,
+    ROOT,
+    compute_lca,
+)
+from repro.dht import LocalDHT
+from repro.errors import LabelError
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+
+
+def _build(keys, theta=4, depth=40, seed=0):
+    index = LHTIndex(
+        LocalDHT(n_peers=16, seed=seed),
+        IndexConfig(theta_split=theta, max_depth=depth),
+    )
+    for key in keys:
+        index.insert(key)
+    return index
+
+
+class TestComputeLCA:
+    def test_paper_example(self):
+        # §6.2: any leaf receiving [0.2, 0.6) computes the LCA to be #0.
+        assert compute_lca(Range(0.2, 0.6), 20) == ROOT
+
+    def test_tight_dyadic_range(self):
+        # [0.25, 0.5) is exactly node #001.
+        assert compute_lca(Range(0.25, 0.5), 20) == Label.parse("#001")
+
+    def test_narrow_range_descends(self):
+        lca = compute_lca(Range(0.30, 0.31), 20)
+        assert lca.depth > 3
+        assert lca.interval.low <= Range(0.30, 0.31).lo
+        assert Range(0.30, 0.31).hi <= lca.interval.high
+
+    def test_depth_cap(self):
+        lca = compute_lca(Range(0.3, 0.3000001), 5)
+        assert lca.depth <= 5
+
+    @given(unit_floats, unit_floats)
+    def test_lca_contains_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        if lo == hi:
+            return
+        lca = compute_lca(Range(lo, hi), 30)
+        assert lca.interval.low <= Range(lo, hi).lo
+        assert Range(lo, hi).hi <= lca.interval.high
+
+
+class TestCorrectness:
+    def test_empty_range(self):
+        index = _build([0.1, 0.2])
+        result = index.range_query(0.5, 0.5)
+        assert result.records == ()
+        assert result.dht_lookups == 0
+
+    def test_invalid_range(self):
+        index = _build([0.1])
+        with pytest.raises(LabelError):
+            index.range_query(0.6, 0.5)
+
+    def test_full_range_returns_everything(self):
+        keys = [0.05, 0.15, 0.35, 0.55, 0.75, 0.95, 0.65, 0.25]
+        index = _build(keys, theta=4)
+        result = index.range_query(0.0, 1.0)
+        assert result.keys == sorted(keys)
+
+    def test_range_within_single_leaf(self):
+        index = _build([0.1, 0.9])  # single-leaf tree (θ=4, 2 records)
+        result = index.range_query(0.3, 0.4)
+        assert result.records == ()
+        result = index.range_query(0.05, 0.5)
+        assert result.keys == [0.1]
+
+    def test_bounds_are_half_open(self):
+        index = _build([0.2, 0.4, 0.6])
+        result = index.range_query(0.2, 0.6)
+        assert result.keys == [0.2, 0.4]
+
+    def test_range_at_space_edges(self):
+        keys = [0.0, 0.001, 0.999, 0.5]
+        index = _build(keys)
+        assert index.range_query(0.0, 0.01).keys == [0.0, 0.001]
+        assert index.range_query(0.99, 1.0).keys == [0.999]
+
+    def test_dyadic_aligned_range(self):
+        rng = np.random.default_rng(0)
+        keys = [float(k) for k in rng.random(300)]
+        index = _build(keys, theta=4)
+        result = index.range_query(0.25, 0.5)
+        assert result.keys == sorted(k for k in keys if 0.25 <= k < 0.5)
+
+    @given(
+        st.lists(unit_floats, min_size=1, max_size=250),
+        unit_floats,
+        unit_floats,
+    )
+    def test_matches_bruteforce(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        index = _build(keys, theta=4)
+        result = index.range_query(lo, hi)
+        assert result.keys == sorted(k for k in keys if lo <= k < hi)
+
+    @given(st.lists(unit_floats, min_size=50, max_size=200))
+    def test_gaussian_like_clusters(self, keys):
+        # skew all keys into a narrow band to force deep lopsided trees
+        squeezed = [0.4 + k * 0.01 for k in keys]
+        index = _build(squeezed, theta=4)
+        result = index.range_query(0.4, 0.405)
+        assert result.keys == sorted(k for k in squeezed if 0.4 <= k < 0.405)
+
+
+class TestCostAccounting:
+    @given(
+        st.lists(unit_floats, min_size=20, max_size=250),
+        unit_floats,
+        unit_floats,
+    )
+    def test_decomposition_is_disjoint(self, keys, a, b):
+        """Each leaf receives exactly one subrange: collection attempts
+        equal distinct buckets visited (stronger than deduplication)."""
+        lo, hi = min(a, b), max(a, b)
+        index = _build(keys, theta=4)
+        result = index.range_query(lo, hi)
+        assert result.collect_calls == result.buckets_visited
+
+    def test_buckets_visited_counts_distinct(self):
+        rng = np.random.default_rng(1)
+        keys = [float(k) for k in rng.random(500)]
+        index = _build(keys, theta=4)
+        result = index.range_query(0.1, 0.6)
+        assert result.buckets_visited >= 1
+        assert result.parallel_steps <= result.dht_lookups
+
+    def test_latency_not_worse_than_bandwidth(self):
+        rng = np.random.default_rng(2)
+        keys = [float(k) for k in rng.random(1000)]
+        index = _build(keys, theta=8)
+        for _ in range(50):
+            lo = float(rng.random() * 0.8)
+            result = index.range_query(lo, lo + 0.15)
+            assert 0 < result.parallel_steps <= result.dht_lookups
+
+    def test_wide_range_latency_sublinear(self):
+        """Latency must grow far slower than the bucket count (the whole
+        point of parallel forwarding — cf. Fig. 10)."""
+        rng = np.random.default_rng(3)
+        keys = [float(k) for k in rng.random(3000)]
+        index = _build(keys, theta=8)
+        result = index.range_query(0.05, 0.95)
+        assert result.buckets_visited > 50
+        assert result.parallel_steps < result.buckets_visited / 4

@@ -1,0 +1,79 @@
+"""Unit tests for result types and the maintenance cost ledger."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import Label
+from repro.core.results import (
+    CostLedger,
+    MergeEvent,
+    RangeQueryResult,
+    SplitEvent,
+)
+
+
+def _split(parent: str, lookups: int = 1, moved: int = 5) -> SplitEvent:
+    label = Label.parse(parent)
+    return SplitEvent(
+        parent=label,
+        local=label.left_child,
+        remote=label.right_child,
+        alpha=0.5,
+        records_moved=moved,
+        dht_lookups=lookups,
+    )
+
+
+class TestCostLedger:
+    def test_empty_ledger(self):
+        ledger = CostLedger()
+        assert ledger.split_count == 0
+        assert ledger.maintenance_lookups == 0
+        assert math.isnan(ledger.average_alpha)
+
+    def test_record_split_accumulates(self):
+        ledger = CostLedger()
+        ledger.record_split(_split("#00", lookups=1, moved=5))
+        ledger.record_split(_split("#01", lookups=1, moved=7))
+        assert ledger.split_count == 2
+        assert ledger.maintenance_lookups == 2
+        assert ledger.maintenance_records_moved == 12
+        assert ledger.average_alpha == 0.5
+
+    def test_record_merge_accumulates(self):
+        ledger = CostLedger()
+        ledger.record_merge(
+            MergeEvent(
+                survivor=Label.parse("#00"),
+                absorbed=Label.parse("#001"),
+                records_moved=3,
+                dht_lookups=2,
+            )
+        )
+        assert ledger.maintenance_lookups == 2
+        assert ledger.maintenance_records_moved == 3
+        assert len(ledger.merges) == 1
+
+    def test_average_alpha_weighting(self):
+        ledger = CostLedger()
+        for alpha in (0.4, 0.6):
+            event = _split("#00")
+            object.__setattr__(event, "alpha", alpha)
+            ledger.record_split(event)
+        assert ledger.average_alpha == 0.5
+
+
+class TestRangeQueryResult:
+    def test_keys_property_sorted(self):
+        from repro.core import Record
+
+        result = RangeQueryResult(
+            records=(Record(0.1), Record(0.2)),
+            dht_lookups=3,
+            failed_lookups=0,
+            parallel_steps=2,
+            buckets_visited=2,
+        )
+        assert result.keys == [0.1, 0.2]
+        assert result.collect_calls == 0  # default for baseline results

@@ -1,0 +1,99 @@
+"""Tests for ordered scans and k-nearest-key queries (extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import IndexConfig, LHTIndex
+from repro.core.scan import knn_query, scan_buckets, scan_records
+from repro.dht import LocalDHT
+from repro.errors import LookupError_
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+
+
+def _build(keys, theta=4, seed=0):
+    index = LHTIndex(
+        LocalDHT(16, seed), IndexConfig(theta_split=theta, max_depth=30)
+    )
+    for key in keys:
+        index.insert(key)
+    return index
+
+
+class TestScan:
+    @given(st.lists(unit_floats, min_size=0, max_size=300))
+    def test_scan_yields_sorted_records(self, keys):
+        index = _build(keys)
+        scanned = [r.key for r in index.scan()]
+        assert scanned == sorted(keys)
+
+    def test_scan_buckets_in_tree_order(self):
+        rng = np.random.default_rng(0)
+        index = _build([float(k) for k in rng.random(400)])
+        labels = [b.label for b in scan_buckets(index.dht, index.config)]
+        lows = [l.interval.low for l in labels]
+        assert lows == sorted(lows)
+        assert len(labels) == index.leaf_count
+
+    def test_scan_cost_one_lookup_per_leaf(self):
+        rng = np.random.default_rng(1)
+        index = _build([float(k) for k in rng.random(400)])
+        before = index.dht.metrics.snapshot()
+        leaves = sum(1 for _ in scan_buckets(index.dht, index.config))
+        delta = index.dht.metrics.since(before)
+        # one get per leaf, plus at most one repair per step
+        assert leaves <= delta.dht_lookups <= 2 * leaves
+
+    def test_scan_empty_index(self):
+        index = _build([])
+        assert list(index.scan()) == []
+
+
+class TestKnn:
+    @given(
+        st.lists(unit_floats, min_size=1, max_size=250, unique=True),
+        unit_floats,
+        st.integers(1, 10),
+    )
+    def test_matches_bruteforce(self, keys, probe, k):
+        index = _build(keys)
+        result = index.knn_query(probe, k)
+        expect = sorted(keys, key=lambda key: (abs(key - probe), key))[:k]
+        assert [r.key for r in result.records] == expect
+
+    def test_k_larger_than_index(self):
+        index = _build([0.2, 0.8])
+        result = index.knn_query(0.5, 10)
+        assert sorted(r.key for r in result.records) == [0.2, 0.8]
+
+    def test_k_validation(self):
+        index = _build([0.5])
+        with pytest.raises(LookupError_):
+            index.knn_query(0.5, 0)
+
+    def test_does_not_scan_whole_index(self):
+        """The frontier bound must stop expansion early on a big index."""
+        rng = np.random.default_rng(2)
+        index = _build([float(k) for k in rng.random(3000)], theta=8)
+        result = index.knn_query(0.5, 3)
+        # a full scan would need ~ leaf_count lookups; knn should touch
+        # only a neighborhood
+        assert result.dht_lookups < index.leaf_count / 4
+
+    def test_probe_at_edges(self):
+        rng = np.random.default_rng(3)
+        keys = [float(k) for k in rng.random(500)]
+        index = _build(keys)
+        low = index.knn_query(0.0, 5)
+        assert [r.key for r in low.records] == sorted(keys)[:5]
+        high = index.knn_query(0.9999999, 5)
+        assert sorted(r.key for r in high.records) == sorted(keys)[-5:]
+
+    def test_exact_hit_is_first(self):
+        index = _build([0.1, 0.5, 0.9])
+        result = index.knn_query(0.5, 2)
+        assert result.records[0].key == 0.5

@@ -1,0 +1,80 @@
+"""Tests for the bucket wire format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeafBucket, Record, Label
+from repro.core.serialize import (
+    bucket_from_dict,
+    bucket_to_dict,
+    dumps,
+    loads,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.errors import ReproError
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+json_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-1000, 1000),
+    st.text(max_size=20),
+)
+
+
+class TestRecordRoundtrip:
+    @given(unit_floats, json_values)
+    def test_dict_roundtrip(self, key, value):
+        record = Record(key, value)
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_malformed(self):
+        with pytest.raises(ReproError):
+            record_from_dict({"no_key": 1})
+        with pytest.raises(ReproError):
+            record_from_dict({"key": "not-a-number"})
+
+
+class TestBucketRoundtrip:
+    @given(
+        st.text(alphabet="01", min_size=0, max_size=10),
+        st.lists(st.tuples(unit_floats, json_values), max_size=30),
+    )
+    def test_json_roundtrip(self, bits, items):
+        label = Label("0" + bits)
+        records = [
+            Record(k, v) for k, v in items if label.contains(k)
+        ]
+        bucket = LeafBucket(label, records)
+        restored = loads(dumps(bucket))
+        assert restored.label == bucket.label
+        assert restored.records == bucket.records
+
+    def test_version_check(self):
+        data = bucket_to_dict(LeafBucket(Label("0")))
+        data["format"] = 99
+        with pytest.raises(ReproError):
+            bucket_from_dict(data)
+
+    def test_malformed_payloads(self):
+        with pytest.raises(ReproError):
+            loads(b"not json at all {")
+        with pytest.raises(ReproError):
+            bucket_from_dict({"format": 1})  # missing fields
+
+    def test_canonical_bytes_stable(self):
+        bucket = LeafBucket(Label("01"), [Record(0.6, "x")])
+        assert dumps(bucket) == dumps(bucket)
+
+    def test_records_resorted_on_load(self):
+        data = {
+            "format": 1,
+            "label": "#0",
+            "records": [{"key": 0.9, "value": None}, {"key": 0.1, "value": None}],
+        }
+        bucket = bucket_from_dict(data)
+        assert [r.key for r in bucket.records] == [0.1, 0.9]

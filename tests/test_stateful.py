@@ -1,0 +1,127 @@
+"""Model-based stateful testing: LHTIndex vs the centralized oracle.
+
+A hypothesis ``RuleBasedStateMachine`` drives a random interleaving of
+inserts, deletes, lookups, range queries, min/max and scans against both
+the distributed index and the :class:`ReferenceTree`, checking full
+agreement after every step and structural invariants as machine-level
+invariants.  This is the strongest single correctness artefact in the
+suite: any divergence between the distributed protocol and the paper's
+abstract tree is found as a minimal counterexample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import IndexConfig, IndexInspector, LHTIndex, ReferenceTree
+from repro.dht import LocalDHT
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+
+
+class LHTMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.config = IndexConfig(
+            theta_split=4, max_depth=40, merge_enabled=True
+        )
+        self.dht = LocalDHT(n_peers=16, seed=0)
+        self.index = LHTIndex(self.dht, self.config)
+        self.oracle = ReferenceTree(self.config)
+        self.live: list[float] = []
+
+    @initialize(keys=st.lists(unit_floats, max_size=30))
+    def seed_data(self, keys: list[float]) -> None:
+        for key in keys:
+            self.index.insert(key)
+            self.oracle.insert(key)
+            self.live.append(key)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    @rule(key=unit_floats)
+    def insert(self, key: float) -> None:
+        self.index.insert(key)
+        self.oracle.insert(key)
+        self.live.append(key)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete_existing(self, data) -> None:
+        key = data.draw(st.sampled_from(self.live))
+        self.live.remove(key)
+        assert self.index.delete(key).deleted
+        assert self.oracle.delete(key)
+
+    @rule(key=unit_floats)
+    def delete_probably_absent(self, key: float) -> None:
+        expected = key in self.live
+        result = self.index.delete(key)
+        assert result.deleted == expected
+        if expected:
+            self.live.remove(key)
+            self.oracle.delete(key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @rule(key=unit_floats)
+    def lookup_agrees(self, key: float) -> None:
+        record, _ = self.index.exact_match(key)
+        assert (record is not None) == (key in self.live)
+
+    @rule(a=unit_floats, b=unit_floats)
+    def range_agrees(self, a: float, b: float) -> None:
+        lo, hi = min(a, b), max(a, b)
+        result = self.index.range_query(lo, hi)
+        assert result.keys == sorted(k for k in self.live if lo <= k < hi)
+
+    @rule()
+    def minmax_agree(self) -> None:
+        mn = self.index.min_query().record
+        mx = self.index.max_query().record
+        if self.live:
+            assert mn is not None and mn.key == min(self.live)
+            assert mx is not None and mx.key == max(self.live)
+        else:
+            assert mn is None and mx is None
+
+    @rule()
+    def scan_agrees(self) -> None:
+        assert [r.key for r in self.index.scan()] == sorted(self.live)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def distributed_state_is_consistent(self) -> None:
+        IndexInspector(self.dht).verify()
+
+    @invariant()
+    def matches_oracle_tree(self) -> None:
+        inspector = IndexInspector(self.dht)
+        assert sorted(
+            str(b.label) for b in inspector.buckets().values()
+        ) == sorted(str(label) for label in self.oracle.leaf_labels)
+
+    @invariant()
+    def record_count_tracks(self) -> None:
+        assert len(self.index) == len(self.live)
+
+
+TestLHTStateMachine = LHTMachine.TestCase
+TestLHTStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,175 @@
+"""Property tests for the paper's theorems and complexity claims.
+
+Each theorem in the paper is checked on randomly grown trees:
+
+* Theorem 1 — ``f_n`` is a bijection from leaf labels to internal-node
+  labels (the virtual root included).
+* Theorem 2 — a split's two children are named to ``f_n(λ)`` (the local
+  leaf) and ``λ`` (the remote leaf).
+* Theorem 3 — the min/max buckets live under ``#`` and ``#0``.
+* §5 complexity — an LHT-lookup needs at most ``⌈log2(D/2)⌉ + O(1)``
+  DHT-gets; §6.3 — a range query needs at most ``B + 3`` DHT-lookups.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    IndexConfig,
+    Label,
+    LHTIndex,
+    ReferenceTree,
+    ROOT,
+    VIRTUAL_ROOT,
+    naming,
+)
+from repro.dht import LocalDHT
+
+unit_floats = st.floats(min_value=0.0, max_value=0.9999999, allow_nan=False)
+key_lists = st.lists(unit_floats, min_size=1, max_size=400)
+
+
+class TestTheorem1Bijection:
+    @given(key_lists)
+    def test_naming_is_bijective_on_grown_trees(self, keys: list[float]):
+        tree = ReferenceTree(IndexConfig(theta_split=4, max_depth=40))
+        for key in keys:
+            tree.insert(key)
+        leaves = tree.leaf_labels
+        names = [naming(leaf) for leaf in leaves]
+        # injective: all names distinct
+        assert len(set(names)) == len(names)
+        # surjective onto the internal nodes (virtual root included)
+        assert set(names) == tree.internal_labels()
+
+    def test_single_leaf_tree(self):
+        tree = ReferenceTree()
+        assert [naming(leaf) for leaf in tree.leaf_labels] == [VIRTUAL_ROOT]
+
+    @given(st.text(alphabet="01", min_size=0, max_size=14))
+    def test_inverse_construction(self, bits: str):
+        """For every internal node ω the unique preimage is ω11* (ω ends
+        with 0) or ω00* (ω ends with 1 or is the virtual root) — the
+        constructive content of the proof."""
+        omega = Label("0" + bits)
+        filler = "1" if omega.last_bit == "0" else "0"
+        for repeat in range(1, 5):
+            leaf = omega.extend(filler * repeat)
+            assert naming(leaf) == omega
+
+
+class TestTheorem2SplitNaming:
+    @given(st.text(alphabet="01", min_size=0, max_size=14))
+    def test_one_child_keeps_the_name(self, bits: str):
+        leaf = Label("0" + bits)
+        children_names = {naming(leaf.left_child), naming(leaf.right_child)}
+        assert children_names == {naming(leaf), leaf}
+
+    @given(st.text(alphabet="01", min_size=0, max_size=14))
+    def test_local_remote_assignment(self, bits: str):
+        """If λ ends with 1, λ0 is the remote leaf (named λ) and λ1 the
+        local one; mirrored when λ ends with 0 (Alg. 1 lines 2-8)."""
+        leaf = Label("0" + bits)
+        if leaf.last_bit == "1":
+            assert naming(leaf.left_child) == leaf
+            assert naming(leaf.right_child) == naming(leaf)
+        else:
+            assert naming(leaf.right_child) == leaf
+            assert naming(leaf.left_child) == naming(leaf)
+
+
+class TestTheorem3MinMax:
+    @given(key_lists)
+    def test_extreme_leaves_have_fixed_names(self, keys: list[float]):
+        tree = ReferenceTree(IndexConfig(theta_split=4, max_depth=40))
+        for key in keys:
+            tree.insert(key)
+        ordered = tree.leaf_labels
+        assert naming(ordered[0]) == VIRTUAL_ROOT  # leftmost leaf under '#'
+        if len(ordered) > 1:
+            assert naming(ordered[-1]) == ROOT  # rightmost leaf under '#0'
+
+
+class TestComplexityClaims:
+    def _build(self, n: int, theta: int, max_depth: int, seed: int) -> LHTIndex:
+        rng = np.random.default_rng(seed)
+        index = LHTIndex(
+            LocalDHT(n_peers=32, seed=seed),
+            IndexConfig(theta_split=theta, max_depth=max_depth),
+        )
+        index.bulk_load(float(k) for k in rng.random(n))
+        return index
+
+    def test_lookup_probe_bound(self):
+        """§5: the binary search runs over ≈ D/2 name classes, so it needs
+        at most ⌈log2(D/2)⌉ + 1 probes."""
+        max_depth = 20
+        index = self._build(4000, theta=10, max_depth=max_depth, seed=1)
+        bound = math.ceil(math.log2(max_depth / 2)) + 1
+        rng = np.random.default_rng(2)
+        worst = 0
+        for key in rng.random(500):
+            result = index.lookup(float(key))
+            assert result.found
+            worst = max(worst, result.dht_lookups)
+        assert worst <= bound, f"worst lookup used {worst} > bound {bound}"
+
+    def test_lookup_probes_have_distinct_names(self):
+        """No DHT key is probed twice within one lookup — the point of the
+        name-class collapse."""
+        index = self._build(2000, theta=10, max_depth=20, seed=3)
+        rng = np.random.default_rng(4)
+        for key in rng.random(200):
+            result = index.lookup(float(key))
+            assert len(set(result.probed)) == len(result.probed)
+
+    def test_range_query_b_plus_3(self):
+        """§6.3: a range query over B buckets uses at most B + 3
+        DHT-lookups (B ≥ 2; plus 1 more for the leaf-child repair case
+        the paper's pseudocode elides — see DESIGN.md)."""
+        index = self._build(5000, theta=10, max_depth=20, seed=5)
+        rng = np.random.default_rng(6)
+        for _ in range(300):
+            lo = float(rng.random() * 0.9)
+            hi = lo + float(rng.random() * 0.1) + 1e-6
+            result = index.range_query(lo, hi)
+            if result.buckets_visited >= 2:
+                assert result.dht_lookups <= result.buckets_visited + 4
+
+    def test_range_query_failed_lookups_bounded(self):
+        """At most one failed lookup per recursive sweep plus one in the
+        general forwarding (§6.1, §6.2)."""
+        index = self._build(5000, theta=10, max_depth=20, seed=7)
+        rng = np.random.default_rng(8)
+        for _ in range(200):
+            lo = float(rng.random() * 0.8)
+            hi = lo + float(rng.random() * 0.2) + 1e-6
+            result = index.range_query(lo, hi)
+            assert result.failed_lookups <= 3
+
+    def test_minmax_single_lookup(self):
+        """Theorem 3: one DHT-lookup regardless of size."""
+        for n in (10, 100, 1000, 5000):
+            index = self._build(n, theta=10, max_depth=20, seed=n)
+            assert index.min_query().dht_lookups == 1
+            assert index.max_query().dht_lookups == 1
+
+    def test_split_is_one_lookup(self):
+        """§8.2 / Eq. 1: every LHT split costs exactly one DHT-lookup."""
+        index = self._build(3000, theta=10, max_depth=20, seed=9)
+        assert index.ledger.split_count > 100
+        assert all(e.dht_lookups == 1 for e in index.ledger.splits)
+
+    def test_split_moves_at_most_a_bucket_half_on_uniform(self):
+        """Eq. 1: the average data movement per split ≈ θ/2 records."""
+        theta = 20
+        index = self._build(20000, theta=theta, max_depth=24, seed=10)
+        mean_moved = (
+            index.ledger.maintenance_records_moved / index.ledger.split_count
+        )
+        assert 0.35 * theta < mean_moved < 0.65 * theta

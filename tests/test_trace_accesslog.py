@@ -1,0 +1,177 @@
+"""Tests for workload traces, the replayer, and access logging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.pht import PHTIndex
+from repro.core import IndexConfig, IndexInspector, LHTIndex
+from repro.dht import AccessLoggingDHT, LocalDHT
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    Operation,
+    OpType,
+    WorkloadTrace,
+    generate_trace,
+    replay,
+)
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestTraceGeneration:
+    def test_length_and_counts(self):
+        trace = generate_trace(500, _rng())
+        assert len(trace) == 500
+        counts = trace.counts()
+        assert sum(counts.values()) == 500
+        assert counts[OpType.INSERT] > counts[OpType.DELETE]
+
+    def test_deletes_target_live_keys(self):
+        trace = generate_trace(400, _rng(1))
+        live: set[float] = set()
+        for operation in trace:
+            if operation.op is OpType.INSERT:
+                live.add(operation.key)
+            elif operation.op is OpType.DELETE:
+                assert operation.key in live
+                live.discard(operation.key)
+
+    def test_range_ops_have_bounds(self):
+        trace = generate_trace(
+            300, _rng(2), mix={OpType.RANGE: 1.0}, range_span=0.1
+        )
+        for operation in trace:
+            # with no live keys, forced inserts can appear; ranges must
+            # carry a valid hi bound
+            if operation.op is OpType.RANGE:
+                assert operation.hi is not None
+                assert operation.hi - operation.key == pytest.approx(0.1)
+
+    def test_deterministic(self):
+        a = generate_trace(100, _rng(3)).operations
+        b = generate_trace(100, _rng(3)).operations
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace(-1, _rng())
+        with pytest.raises(ConfigurationError):
+            generate_trace(10, _rng(), mix={OpType.INSERT: 0.0})
+
+
+class TestReplay:
+    def test_replay_against_lht_and_pht(self):
+        trace = generate_trace(800, _rng(4))
+        lht = LHTIndex(
+            LocalDHT(16, 0),
+            IndexConfig(theta_split=8, max_depth=24, merge_enabled=True),
+        )
+        pht = PHTIndex(LocalDHT(16, 0), IndexConfig(theta_split=8, max_depth=24))
+        lht_totals = replay(lht, trace)
+        pht_totals = replay(pht, trace)
+        # both indexes end with the same record count
+        assert len(lht) == len(pht)
+        assert lht_totals["n_insert"] == pht_totals["n_insert"]
+        # distributed state stays consistent after the mixed workload
+        IndexInspector(lht.dht).verify()
+        # the paper's maintenance advantage persists under deletion
+        if pht_totals["maintenance_lookups"]:
+            ratio = (
+                lht_totals["maintenance_lookups"]
+                / pht_totals["maintenance_lookups"]
+            )
+            assert ratio < 0.5
+
+    def test_replay_totals_structure(self):
+        trace = WorkloadTrace(
+            [
+                Operation(OpType.INSERT, 0.5),
+                Operation(OpType.LOOKUP, 0.5),
+                Operation(OpType.RANGE, 0.2, 0.8),
+                Operation(OpType.DELETE, 0.5),
+            ]
+        )
+        index = LHTIndex(LocalDHT(8, 0), IndexConfig(theta_split=8))
+        totals = replay(index, trace)
+        assert totals["n_insert"] == 1
+        assert totals["n_delete"] == 1
+        assert totals["insert"] > 0 and totals["range"] > 0
+
+
+class TestAccessLogging:
+    def test_counts_routed_ops(self):
+        dht = AccessLoggingDHT(LocalDHT(16, 0))
+        dht.put("a", 1)
+        dht.get("a")
+        dht.get("a")
+        dht.remove("a")
+        assert dht.key_accesses["a"] == 4
+        assert dht.hottest_keys(1) == [("a", 4)]
+
+    def test_peek_not_logged(self):
+        dht = AccessLoggingDHT(LocalDHT(16, 0))
+        dht.put("a", 1)
+        dht.peek("a")
+        assert dht.key_accesses["a"] == 1
+
+    def test_peer_accesses_sum(self):
+        dht = AccessLoggingDHT(LocalDHT(16, 0))
+        for i in range(20):
+            dht.put(f"k{i}", i)
+        assert sum(dht.peer_accesses().values()) == 20
+
+    def test_reset(self):
+        dht = AccessLoggingDHT(LocalDHT(16, 0))
+        dht.put("a", 1)
+        dht.reset_log()
+        assert not dht.key_accesses
+
+    def test_lht_hot_keys_are_structural(self):
+        """Min/max traffic concentrates on '#' and '#0' — the E21 story."""
+        dht = AccessLoggingDHT(LocalDHT(32, 0))
+        index = LHTIndex(dht, IndexConfig(theta_split=8, max_depth=20))
+        for key in np.random.default_rng(5).random(500):
+            index.insert(float(key))
+        dht.reset_log()
+        for _ in range(25):
+            index.min_query()
+            index.max_query()
+        hot = dict(dht.hottest_keys(2))
+        assert hot.get("#") == 25
+        assert hot.get("#0") == 25
+
+
+class TestNewExperiments:
+    def test_churn_workload(self):
+        from repro.experiments import churn_workload
+
+        (result,) = churn_workload.run("ci", seed=0)
+        lht = result.series_by_label("lht")
+        pht = result.series_by_label("pht")
+        assert lht.y[0] < pht.y[0]  # maintenance lookups
+        assert lht.y[1] < pht.y[1]  # records moved
+
+    def test_hotspots(self):
+        from repro.experiments import hotspots
+
+        (result,) = hotspots.run("ci", seed=0)
+        series = result.series_by_label("lht")
+        peer_gini, key_gini, hottest_share = series.y
+        assert 0.0 <= peer_gini <= 1.0
+        assert 0.0 <= key_gini <= 1.0
+        assert 0.0 < hottest_share < 0.5
+        assert "#" in result.notes
+
+    def test_ablation_experiment(self):
+        from repro.experiments import ablation_lookup
+
+        (result,) = ablation_lookup.run("ci", seed=0)
+        binary = result.series_by_label("lht-binary")
+        linear = result.series_by_label("lht-linear")
+        pht_binary = result.series_by_label("pht-binary")
+        assert sum(binary.y) < sum(linear.y)
+        assert sum(binary.y) < sum(pht_binary.y)

@@ -1,0 +1,68 @@
+"""Tests for the ASCII tree renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IndexConfig, LHTIndex
+from repro.core.viz import render_leaf_strip, render_tree
+from repro.dht import LocalDHT
+
+
+def _build(n: int = 200, theta: int = 8) -> LHTIndex:
+    index = LHTIndex(LocalDHT(16, 0), IndexConfig(theta_split=theta, max_depth=20))
+    for key in np.random.default_rng(0).random(n):
+        index.insert(float(key))
+    return index
+
+
+class TestRenderTree:
+    def test_single_leaf(self):
+        index = LHTIndex(LocalDHT(4, 0), IndexConfig(theta_split=8))
+        text = render_tree(index.dht)
+        assert "virtual root" in text
+        assert "#0" in text and "leaf" in text
+        assert "key=#" in text
+
+    def test_every_leaf_listed(self):
+        index = _build()
+        text = render_tree(index.dht)
+        assert text.count("leaf") == index.leaf_count
+        for label in index.leaf_labels():
+            assert str(label) in text
+
+    def test_depth_cap_elides(self):
+        index = _build(n=500, theta=4)
+        text = render_tree(index.dht, max_depth=2)
+        assert "…" in text
+
+    def test_record_counts_shown(self):
+        index = _build(n=50)
+        text = render_tree(index.dht)
+        total = sum(
+            int(part.split("=")[1].split()[0])
+            for line in text.splitlines()
+            if "n=" in line
+            for part in [line[line.index("n=") :]]
+        )
+        assert total == 50
+
+
+class TestLeafStrip:
+    def test_width_and_scale(self):
+        index = _build()
+        strip = render_leaf_strip(index.dht, width=40)
+        lines = strip.splitlines()
+        assert len(lines[0]) == 40
+        assert lines[1].startswith("0") and lines[1].endswith("1")
+
+    def test_dense_region_darker(self):
+        index = LHTIndex(LocalDHT(8, 0), IndexConfig(theta_split=100))
+        # cluster everything near 0.25: that leaf should render darkest
+        for key in np.random.default_rng(1).normal(0.25, 0.01, 80):
+            if 0 <= key < 1:
+                index.insert(float(key))
+        strip = render_leaf_strip(index.dht, width=40).splitlines()[0]
+        glyph_order = " .:-=+*#%@"
+        weights = [glyph_order.index(c) for c in strip]
+        assert max(weights[:20]) >= max(weights[20:])

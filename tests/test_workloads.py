@@ -1,0 +1,105 @@
+"""Tests for dataset and query-stream generators (paper §9.1, §9.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    DATASETS,
+    clustered_keys,
+    gaussian_keys,
+    lookup_keys,
+    make_keys,
+    pareto_keys,
+    random_ranges,
+    span_ranges,
+    uniform_keys,
+)
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_all_keys_in_unit_interval(self, name):
+        keys = make_keys(name, 5000, _rng())
+        assert keys.shape == (5000,)
+        assert (keys >= 0.0).all() and (keys < 1.0).all()
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_deterministic_under_seed(self, name):
+        a = make_keys(name, 100, _rng(7))
+        b = make_keys(name, 100, _rng(7))
+        assert (a == b).all()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            make_keys("zeta", 10, _rng())
+
+    def test_negative_size_rejected(self):
+        for gen in (uniform_keys, gaussian_keys, pareto_keys, clustered_keys):
+            with pytest.raises(ConfigurationError):
+                gen(-1, _rng())
+
+    def test_gaussian_moments(self):
+        keys = gaussian_keys(50_000, _rng(1))
+        # paper's parameters: mean 1/2, std 1/6 (truncation shifts little)
+        assert abs(keys.mean() - 0.5) < 0.01
+        assert abs(keys.std() - 1 / 6) < 0.01
+
+    def test_uniform_is_flat(self):
+        keys = uniform_keys(50_000, _rng(2))
+        hist, _ = np.histogram(keys, bins=10, range=(0, 1))
+        assert hist.min() > 0.8 * hist.mean()
+
+    def test_pareto_is_skewed_low(self):
+        keys = pareto_keys(20_000, _rng(3))
+        assert np.median(keys) < 0.5
+
+    def test_clustered_is_multimodal(self):
+        keys = clustered_keys(20_000, _rng(4), n_clusters=3, cluster_std=0.01)
+        hist, _ = np.histogram(keys, bins=50, range=(0, 1))
+        # most bins nearly empty, a few very full
+        assert (hist < hist.mean()).sum() > 30
+
+    def test_zero_size(self):
+        assert len(uniform_keys(0, _rng())) == 0
+
+
+class TestQueries:
+    def test_lookup_keys(self):
+        keys = lookup_keys(100, _rng())
+        assert len(keys) == 100
+        assert (keys >= 0.0).all() and (keys < 1.0).all()
+        with pytest.raises(ConfigurationError):
+            lookup_keys(-1, _rng())
+
+    def test_span_ranges(self):
+        queries = span_ranges(50, 0.1, _rng())
+        assert len(queries) == 50
+        for q in queries:
+            assert q.span == pytest.approx(0.1)
+            assert 0.0 <= q.lo and q.hi <= 1.0 + 1e-12
+
+    def test_span_validation(self):
+        with pytest.raises(ConfigurationError):
+            span_ranges(10, 0.0, _rng())
+        with pytest.raises(ConfigurationError):
+            span_ranges(10, 1.5, _rng())
+
+    def test_full_span(self):
+        queries = span_ranges(5, 1.0, _rng())
+        for q in queries:
+            assert q.lo == 0.0 and q.hi == 1.0
+
+    def test_random_ranges(self):
+        queries = random_ranges(50, _rng(), max_span=0.3)
+        for q in queries:
+            assert 0 < q.span <= 0.3 + 1e-12
+            assert 0.0 <= q.lo and q.hi <= 1.0 + 1e-12
+        with pytest.raises(ConfigurationError):
+            random_ranges(5, _rng(), max_span=0.0)
