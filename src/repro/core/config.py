@@ -29,12 +29,17 @@ class IndexConfig:
             count falls below this value.  Defaults to ``θ_split // 2`` (set
             at construction when left as 0) to provide hysteresis against
             split/merge thrashing.
+        sanitize: Run the runtime sanitizer
+            (:class:`repro.devtools.sanitizer.IndexSanitizer`) after every
+            mutating index operation.  Also switched on globally by the
+            ``LHT_SANITIZE=1`` environment variable.
     """
 
     theta_split: int = 100
     max_depth: int = 20
     merge_enabled: bool = False
     merge_threshold: int = 0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.theta_split < 2:

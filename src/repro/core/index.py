@@ -24,7 +24,10 @@ maintenance-only totals (the paper's Fig. 7 measure) live in
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
+    from repro.core.scan import KnnResult
 
 from repro.core.bucket import LeafBucket, Record
 from repro.core.config import IndexConfig
@@ -79,6 +82,16 @@ class LHTIndex:
         self.record_count = 0
         # Bootstrap: the root leaf lives under f_n(#0) = '#'.
         self.dht.put(str(naming(ROOT)), LeafBucket(ROOT))
+        # Opt-in runtime sanitizer (LHT_SANITIZE=1 or config.sanitize):
+        # re-validates Theorems 1-2 and the §3.2 structural properties
+        # after every mutating operation.
+        self._sanitizer = None
+        # Imported lazily: repro.devtools imports repro.core for its
+        # determinism harness, so a module-level import would cycle.
+        from repro.devtools.sanitizer import IndexSanitizer, sanitizer_enabled
+
+        if self.config.sanitize or sanitizer_enabled():
+            self._sanitizer = IndexSanitizer(dht, self.config)
 
     # ------------------------------------------------------------------
     # Lookup and exact match (§5)
@@ -132,6 +145,11 @@ class LHTIndex:
         merges: tuple[MergeEvent, ...] = ()
         if self.config.merge_enabled:
             merges = tuple(self._maybe_merge(result.bucket))
+        sanitizer = getattr(self, "_sanitizer", None)
+        if sanitizer is not None:
+            for merge in merges:
+                sanitizer.check_merge(merge)
+            sanitizer.after_mutation("delete")
         return DeleteResult(deleted=True, dht_lookups=lookups, merges=merges)
 
     def bulk_load(self, items: Iterable[float | tuple[float, Any]]) -> int:
@@ -164,14 +182,14 @@ class LHTIndex:
         """The record with the largest key (Theorem 3)."""
         return max_query(self.dht, self.config)
 
-    def scan(self):
+    def scan(self) -> "Iterator[Record]":
         """Iterate every record in ascending key order (one DHT-lookup
         per leaf; see :mod:`repro.core.scan`)."""
         from repro.core.scan import scan_records
 
         return scan_records(self.dht, self.config)
 
-    def knn_query(self, key: float, k: int):
+    def knn_query(self, key: float, k: int) -> "KnnResult":
         """The ``k`` records with keys nearest to ``key``
         (:func:`repro.core.scan.knn_query`)."""
         from repro.core.scan import knn_query
@@ -213,6 +231,11 @@ class LHTIndex:
             target.add(record)
             self.dht.local_write(str(naming(bucket.label)), bucket)
         self.record_count += 1
+        sanitizer = getattr(self, "_sanitizer", None)
+        if sanitizer is not None:
+            if event is not None:
+                sanitizer.check_split(event)
+            sanitizer.after_mutation("insert")
         return target.label, event
 
     def _split(self, bucket: LeafBucket) -> tuple[SplitEvent, LeafBucket]:

@@ -1,0 +1,68 @@
+"""Correctness tooling: custom linter, runtime sanitizer, determinism harness.
+
+This package is the reproduction's answer to a sanitizer/race-detector
+layer in a training stack: mechanical enforcement of the properties every
+figure in EXPERIMENTS.md silently relies on.
+
+* :mod:`repro.devtools.lint` — an AST-based linter with repo-specific
+  rules (``python -m repro.devtools.lint src/``): no wall-clock reads or
+  global randomness inside the deterministic packages (``sim``, ``dht``,
+  ``core``), no bare ``assert`` in library code, no mutable default
+  arguments, and every concrete DHT substrate must implement the full
+  :class:`repro.dht.base.DHT` interface.
+* :mod:`repro.devtools.sanitizer` — an opt-in runtime sanitizer
+  (``LHT_SANITIZE=1``) that re-validates the LHT structural invariants
+  (Theorem 1 bijectivity, leaf-interval partition, bucket-size bounds,
+  Theorem 2 split behaviour) after every mutating index operation.
+* :mod:`repro.devtools.determinism` — a same-seed trace-diff harness
+  proving a workload replays bit-for-bit identically, exposed as a CLI
+  subcommand and (via ``tests/conftest.py``) a pytest fixture.
+
+See ``docs/static_analysis.md`` for the full rule catalogue and usage.
+"""
+
+from typing import Any
+
+# Submodules are exported lazily (PEP 562): ``python -m
+# repro.devtools.lint`` must not re-import the module it is about to run,
+# and the sanitizer is imported from repro.core.index, which the
+# determinism harness imports in turn.
+_EXPORTS = {
+    "DeterminismReport": "repro.devtools.determinism",
+    "check_determinism": "repro.devtools.determinism",
+    "run_workload": "repro.devtools.determinism",
+    "trace_digest": "repro.devtools.determinism",
+    "LINT_RULES": "repro.devtools.lint",
+    "Violation": "repro.devtools.lint",
+    "lint_paths": "repro.devtools.lint",
+    "lint_source": "repro.devtools.lint",
+    "IndexSanitizer": "repro.devtools.sanitizer",
+    "sanitizer_enabled": "repro.devtools.sanitizer",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "DeterminismReport",
+    "check_determinism",
+    "run_workload",
+    "trace_digest",
+    "LINT_RULES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "IndexSanitizer",
+    "sanitizer_enabled",
+]

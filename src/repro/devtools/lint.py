@@ -1,0 +1,593 @@
+"""Repo-specific AST linter (``python -m repro.devtools.lint src/``).
+
+Every figure in the reproduction is regenerated from a seed, so the
+simulation core must be *hermetic*: no wall-clock reads, no hidden global
+randomness, and loud typed failures rather than strippable ``assert``
+statements.  Generic linters cannot know these rules; this one does.
+
+Rule catalogue (see ``docs/static_analysis.md`` for rationale):
+
+========  ==============================================================
+Code      Rule
+========  ==============================================================
+LHT001    No wall-clock reads (``time.time``, ``datetime.now``, …)
+          inside the deterministic packages ``sim/``, ``dht/``, ``core/``.
+LHT002    No global randomness (stdlib ``random``, ``numpy.random``
+          module-level functions, unseeded ``default_rng()``) inside the
+          deterministic packages; randomness flows through
+          :mod:`repro.sim.rng` or an explicitly seeded generator.
+LHT003    No bare ``assert`` in library code — ``python -O`` strips
+          asserts, so invariants must raise typed :mod:`repro.errors`
+          exceptions.
+LHT004    No mutable default arguments.
+LHT005    Every concrete class deriving from :class:`repro.dht.base.DHT`
+          implements the full abstract interface.
+========  ==============================================================
+
+Violations can be suppressed per line with ``# noqa`` or
+``# noqa: LHT003`` trailing comments.  The module is dependency-free
+(stdlib ``ast`` only) so it runs anywhere the repo checks out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LINT_RULES", "Violation", "lint_paths", "lint_source", "main"]
+
+#: Rule code -> one-line description (the user-facing catalogue).
+LINT_RULES: dict[str, str] = {
+    "LHT001": "wall-clock read in a deterministic package",
+    "LHT002": "global randomness in a deterministic package",
+    "LHT003": "bare assert in library code",
+    "LHT004": "mutable default argument",
+    "LHT005": "DHT substrate does not implement the full base interface",
+}
+
+#: Top-level packages whose modules must be hermetic (LHT001/LHT002).
+DETERMINISTIC_PACKAGES = frozenset({"sim", "dht", "core"})
+
+#: Fully qualified callables that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* global mutable state.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Constructors whose call as a default argument produces shared state.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Path classification
+# ----------------------------------------------------------------------
+
+
+def _is_test_file(path: Path) -> bool:
+    """Test modules may use bare asserts and ad-hoc randomness."""
+    name = path.name
+    return (
+        "tests" in path.parts
+        or name.startswith("test_")
+        or name.startswith("bench_")
+        or name == "conftest.py"
+    )
+
+
+def _in_deterministic_package(path: Path) -> bool:
+    return any(part in DETERMINISTIC_PACKAGES for part in path.parts[:-1])
+
+
+def _in_dht_package(path: Path) -> bool:
+    return "dht" in path.parts[:-1]
+
+
+# ----------------------------------------------------------------------
+# Name resolution
+# ----------------------------------------------------------------------
+
+
+class _ImportTable:
+    """Maps local names to the fully qualified objects they denote."""
+
+    def __init__(self) -> None:
+        self._modules: dict[str, str] = {}  # alias -> module dotted path
+        self._objects: dict[str, str] = {}  # alias -> module.attr
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self._modules[local] = target
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or not node.module:  # relative imports are in-repo
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._objects[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path a ``Name``/``Attribute`` chain refers to, if known."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self._objects:
+            base = self._objects[root]
+        elif root in self._modules:
+            base = self._modules[root]
+        else:
+            return None
+        return ".".join([base, *reversed(parts)])
+
+
+# ----------------------------------------------------------------------
+# Per-file visitor (rules LHT001-LHT004)
+# ----------------------------------------------------------------------
+
+
+class _FileVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path, *, deterministic: bool, library: bool) -> None:
+        self.path = path
+        self.deterministic = deterministic
+        self.library = library
+        self.imports = _ImportTable()
+        self.violations: list[Violation] = []
+
+    # -- collection helpers -------------------------------------------
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=str(self.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.add_import_from(node)
+        if self.deterministic and node.module == "random" and not node.level:
+            names = ", ".join(alias.name for alias in node.names)
+            self._flag(
+                node,
+                "LHT002",
+                f"stdlib random import ({names}) — draw from repro.sim.rng "
+                "streams instead",
+            )
+        self.generic_visit(node)
+
+    # -- LHT001 / LHT002 ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.deterministic:
+            dotted = self.imports.resolve(node.func)
+            if dotted in _WALL_CLOCK_CALLS:
+                self._flag(
+                    node,
+                    "LHT001",
+                    f"wall-clock call {dotted}() — simulated time comes from "
+                    "repro.sim.clock.Clock",
+                )
+            elif dotted is not None:
+                self._check_randomness_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_randomness_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted.startswith("random."):
+            self._flag(
+                node,
+                "LHT002",
+                f"global-state call {dotted}() — draw from repro.sim.rng "
+                "streams instead",
+            )
+            return
+        for prefix in ("numpy.random.", "np.random."):
+            if dotted.startswith(prefix):
+                attr = dotted[len(prefix):].split(".")[0]
+                if attr not in _NUMPY_RANDOM_ALLOWED:
+                    self._flag(
+                        node,
+                        "LHT002",
+                        f"numpy global random state {dotted}() — construct a "
+                        "seeded Generator via repro.sim.rng",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    self._flag(
+                        node,
+                        "LHT002",
+                        "unseeded numpy.random.default_rng() — pass an "
+                        "explicit seed (see repro.sim.rng.derive_seed)",
+                    )
+                return
+
+    # -- LHT003 --------------------------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if self.library:
+            self._flag(
+                node,
+                "LHT003",
+                "bare assert in library code — raise a typed repro.errors "
+                "exception (asserts vanish under python -O)",
+            )
+        self.generic_visit(node)
+
+    # -- LHT004 --------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            if self._is_mutable_literal(default):
+                name = getattr(node, "name", "<lambda>")
+                self._flag(
+                    default,
+                    "LHT004",
+                    f"mutable default argument in {name}() — default to None "
+                    "and construct inside the body",
+                )
+
+    def _is_mutable_literal(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in _MUTABLE_FACTORIES
+        return False
+
+
+# ----------------------------------------------------------------------
+# Cross-file rule: substrate interface completeness (LHT005)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _ClassInfo:
+    name: str
+    path: Path
+    line: int
+    bases: list[str] = field(default_factory=list)
+    methods: set[str] = field(default_factory=set)
+    abstract_methods: set[str] = field(default_factory=set)
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _collect_classes(tree: ast.Module, path: Path) -> list[_ClassInfo]:
+    classes: list[_ClassInfo] = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = _ClassInfo(name=node.name, path=path, line=node.lineno)
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                info.bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                info.bases.append(base.attr)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods.add(item.name)
+                if "abstractmethod" in _decorator_names(item):
+                    info.abstract_methods.add(item.name)
+        classes.append(info)
+    return classes
+
+
+def _check_substrates(
+    parsed: list[tuple[Path, ast.Module]]
+) -> list[Violation]:
+    """Every concrete ``DHT`` subclass must cover the abstract interface.
+
+    Inheritance is resolved by simple name within the parsed file set,
+    which matches the flat class layout of ``repro/dht``; classes whose
+    base chain never reaches ``DHT`` (or that declare abstract methods of
+    their own) are exempt.
+    """
+    registry: dict[str, _ClassInfo] = {}
+    dht_classes: list[_ClassInfo] = []
+    for path, tree in parsed:
+        for info in _collect_classes(tree, path):
+            registry.setdefault(info.name, info)
+            if _in_dht_package(path):
+                dht_classes.append(info)
+    base = registry.get("DHT")
+    if base is None or not base.abstract_methods:
+        return []  # base interface not in the lint set; rule not applicable
+
+    violations: list[Violation] = []
+    for info in dht_classes:
+        if info.name == "DHT" or info.abstract_methods:
+            continue
+        chain: list[_ClassInfo] = []
+        seen: set[str] = set()
+        stack = [info.name]
+        reaches_dht = False
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = registry.get(name)
+            if cls is None:
+                continue
+            chain.append(cls)
+            if name == "DHT":
+                reaches_dht = True
+            stack.extend(cls.bases)
+        if not reaches_dht:
+            continue
+        # An abstract def is a requirement, not an implementation — don't
+        # let the base class in the chain satisfy its own interface.
+        provided = set().union(
+            *(cls.methods - cls.abstract_methods for cls in chain)
+        )
+        missing = sorted(base.abstract_methods - provided)
+        if missing:
+            violations.append(
+                Violation(
+                    path=str(info.path),
+                    line=info.line,
+                    col=1,
+                    code="LHT005",
+                    message=(
+                        f"substrate {info.name} misses DHT interface "
+                        f"method(s): {', '.join(missing)}"
+                    ),
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def _noqa_codes(source_lines: Sequence[str], line: int) -> set[str] | None:
+    """Codes suppressed on a line; empty set means blanket ``# noqa``."""
+    if not 1 <= line <= len(source_lines):
+        return None
+    match = _NOQA_RE.search(source_lines[line - 1])
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip().upper() for code in codes.split(",") if code.strip()}
+
+
+def _apply_noqa(
+    violations: Iterable[Violation], source_lines: Sequence[str]
+) -> list[Violation]:
+    kept: list[Violation] = []
+    for violation in violations:
+        codes = _noqa_codes(source_lines, violation.line)
+        if codes is not None and (not codes or violation.code in codes):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_source(
+    source: str, path: Path | str = "<string>"
+) -> list[Violation]:
+    """Lint one module's source text (single-file rules only)."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    visitor = _FileVisitor(
+        path,
+        deterministic=_in_deterministic_package(path) and not _is_test_file(path),
+        library=not _is_test_file(path),
+    )
+    visitor.visit(tree)
+    return _apply_noqa(visitor.violations, source.splitlines())
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" not in file.parts:
+                    yield file
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint files and directories; returns all violations, sorted.
+
+    Raises :class:`ConfigurationError` for a missing path or an unknown
+    rule code in ``select``/``ignore`` — a typo must not turn into a
+    silently green gate.
+    """
+    resolved = [Path(p) for p in paths]
+    for path in resolved:
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+    known = set(LINT_RULES) | {"E902", "E999"}
+    for code in [*(select or []), *(ignore or [])]:
+        if code.upper() not in known:
+            raise ConfigurationError(
+                f"unknown rule code {code!r}; known codes: {sorted(known)}"
+            )
+    violations: list[Violation] = []
+    parsed: list[tuple[Path, ast.Module]] = []
+    for file in _iter_python_files(resolved):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            violations.append(
+                Violation(str(file), 1, 1, "E902", f"cannot read file: {exc}")
+            )
+            continue
+        violations.extend(lint_source(source, file))
+        try:
+            parsed.append((file, ast.parse(source, filename=str(file))))
+        except SyntaxError:
+            pass  # already reported as E999 above
+    violations.extend(_check_substrates(parsed))
+
+    if select:
+        chosen = {code.upper() for code in select}
+        violations = [v for v in violations if v.code in chosen]
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        violations = [v for v in violations if v.code not in dropped]
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.code))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Repo-specific AST linter for the LHT reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="only report these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="CODE",
+        help="suppress these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, description in sorted(LINT_RULES.items()):
+            print(f"{code}  {description}")
+        return 0
+
+    try:
+        violations = lint_paths(
+            args.paths, select=args.select, ignore=args.ignore
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.format())
+    n_files = sum(1 for _ in _iter_python_files([Path(p) for p in args.paths]))
+    if violations:
+        print(f"{len(violations)} violation(s) in {n_files} file(s)")
+        return 1
+    print(f"ok: {n_files} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

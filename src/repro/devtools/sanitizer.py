@@ -1,0 +1,328 @@
+"""Runtime sanitizer for the distributed LHT state (ASan-style, opt-in).
+
+With ``LHT_SANITIZE=1`` in the environment (or ``IndexConfig(sanitize=
+True)``), every :class:`~repro.core.index.LHTIndex` re-validates the
+paper's structural invariants after each mutating operation, through the
+DHT's free oracle interface (``keys``/``peek``):
+
+1. **Theorem 1 bijectivity** — every bucket is stored under ``f_n`` of
+   its label, storage keys are distinct, and the name set equals the
+   internal-node set derived from the live leaves.
+2. **Partition** — leaf intervals tile ``[0, 1)`` with no gap or overlap.
+3. **Bucket-size bounds** — no bucket exceeds ``θ_split - 1`` records
+   unless it sits at the depth cap ``D`` (where splits are refused), and
+   no leaf exceeds depth ``D``.
+4. **Record placement** — every stored record key lies inside its leaf's
+   interval (endpoint check over the sorted store).
+5. **Theorem 2 splits** — after a split, the retained child's DHT key
+   equals the parent's and exactly one sibling moved; merges are checked
+   as the dual.
+
+Cost is one oracle sweep per mutation (``O(leaves + records)``) — cheap
+at test scale, and the reason the sanitizer is opt-in rather than always
+on.  Failures raise :class:`repro.errors.SanitizerError` with the
+operation context, mirroring how a memory sanitizer reports the faulting
+access rather than the later crash.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.core.bucket import LeafBucket
+from repro.core.label import Label, VIRTUAL_ROOT
+from repro.core.naming import naming
+from repro.errors import LabelError, SanitizerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.config import IndexConfig
+    from repro.core.results import MergeEvent, SplitEvent
+    from repro.dht.base import DHT
+
+__all__ = ["ENV_VAR", "IndexSanitizer", "sanitizer_enabled"]
+
+#: Environment variable that switches the sanitizer on globally.
+ENV_VAR = "LHT_SANITIZE"
+
+_FALSY = frozenset({"", "0", "false", "off", "no"})
+
+#: Leaf count up to which every mutation gets a full sweep; above it,
+#: sweeps are amortized to one per ``leaves / _SWEEP_BASE`` mutations so
+#: the per-operation overhead stays constant.
+_SWEEP_BASE = 32
+
+
+def sanitizer_enabled(default: bool = False) -> bool:
+    """Whether ``LHT_SANITIZE`` asks for sanitized index operations."""
+    value = os.environ.get(ENV_VAR)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSY
+
+
+def sanitizer_mode() -> str:
+    """``"off"``, ``"on"`` (adaptive sweeps), or ``"full"`` (sweep every
+    mutation, regardless of tree size — ``LHT_SANITIZE=full``)."""
+    value = os.environ.get(ENV_VAR, "").strip().lower()
+    if value in _FALSY:
+        return "off"
+    return "full" if value == "full" else "on"
+
+
+class IndexSanitizer:
+    """Re-validates LHT structural invariants after mutating operations.
+
+    Reads the whole distributed state through the oracle interface, so it
+    never charges DHT-lookups and never perturbs the metrics that the
+    experiments measure.
+    """
+
+    def __init__(
+        self, dht: "DHT", config: "IndexConfig", *, full_sweeps: bool | None = None
+    ) -> None:
+        self._dht = dht
+        self._config = config
+        self.checks_run = 0
+        self.splits_checked = 0
+        self.merges_checked = 0
+        # Bucket sizes at the previous sweep, keyed by leaf bit string.
+        # Needed for the size-bound check: a median split may shed zero
+        # records under skew (§5 allows at most one split per insertion),
+        # so occupancy may legitimately exceed capacity — but only ever
+        # by one record per mutation.
+        self._sizes: dict[str, int] = {}
+        # Sweep scheduling: small trees sweep every mutation; large trees
+        # amortize (one sweep per leaves/_SWEEP_BASE mutations), keeping
+        # the per-operation cost constant.  Structural changes (splits,
+        # merges) always force a sweep, and ``LHT_SANITIZE=full`` forces
+        # one per mutation at any size.
+        self._full_sweeps = (
+            sanitizer_mode() == "full" if full_sweeps is None else full_sweeps
+        )
+        self._mutations_since_sweep = 0
+        self._sweep_due = False
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def _buckets(self, context: str) -> dict[Label, LeafBucket]:
+        """Oracle snapshot: storage label -> bucket for every stored leaf."""
+        out: dict[Label, LeafBucket] = {}
+        for key in list(self._dht.keys()):
+            value = self._dht.peek(key)
+            if not isinstance(value, LeafBucket):
+                continue
+            try:
+                storage = Label.parse(key)
+            except LabelError as exc:
+                raise SanitizerError(
+                    f"[{context}] bucket {value!r} stored under unparsable "
+                    f"DHT key {key!r}"
+                ) from exc
+            if storage in out:
+                raise SanitizerError(
+                    f"[{context}] two buckets stored under DHT key {key!r}"
+                )
+            out[storage] = value
+        return out
+
+    # ------------------------------------------------------------------
+    # Full structural validation
+    # ------------------------------------------------------------------
+
+    def check(self, context: str = "check") -> None:
+        """Validate every invariant; raise :class:`SanitizerError` if any
+        fails."""
+        buckets = self._buckets(context)
+        if not buckets:
+            raise SanitizerError(f"[{context}] no leaf buckets stored")
+
+        config = self._config
+        leaves: set[Label] = set()
+        for storage, bucket in buckets.items():
+            label = bucket.label
+            if naming(label) != storage:
+                raise SanitizerError(
+                    f"[{context}] Theorem 1 violated: bucket {label} stored "
+                    f"under {storage}, expected f_n({label}) = {naming(label)}"
+                )
+            if label in leaves:
+                raise SanitizerError(
+                    f"[{context}] duplicate leaf label {label}"
+                )
+            leaves.add(label)
+            if label.depth > config.max_depth:
+                raise SanitizerError(
+                    f"[{context}] leaf {label} deeper than max depth "
+                    f"{config.max_depth}"
+                )
+            if len(bucket) > config.record_capacity:
+                self._check_overflow(label, len(bucket), context)
+            records = bucket.records
+            if records:
+                interval = label.interval
+                first, last = records[0].key, records[-1].key
+                if not interval.contains(first) or not interval.contains(last):
+                    raise SanitizerError(
+                        f"[{context}] record key outside leaf {label} "
+                        f"interval {interval}: store spans "
+                        f"[{first}, {last}]"
+                    )
+
+        self._check_partition(leaves, context)
+        self._check_bijection(leaves, set(buckets), context)
+        self._sizes = {
+            bucket.label.bits: len(bucket) for bucket in buckets.values()
+        }
+        self._mutations_since_sweep = 0
+        self._sweep_due = False
+        self.checks_run += 1
+
+    def _check_overflow(self, label: Label, size: int, context: str) -> None:
+        """Size bound for an over-capacity bucket.
+
+        Over-capacity occupancy is legal in LHT: a split cuts at the
+        interval median regardless of data (§5), so a skewed bucket may
+        retain everything, and only one split is attempted per insertion.
+        What *is* invariant is the growth rate: occupancy can exceed the
+        previous sweep's (or, for a fresh child, its parent's) by at most
+        the one inserted record.  Buckets at the depth cap are exempt —
+        splits are refused there, so they grow without bound by design.
+        """
+        if label.depth >= self._config.max_depth:
+            return
+        previous = self._sizes.get(label.bits)
+        if previous is None and label.depth >= 1:
+            previous = self._sizes.get(label.bits[:-1])
+        if previous is None:
+            previous = self._config.record_capacity
+        # One record may arrive per mutation since the last sweep.
+        allowance = max(1, self._mutations_since_sweep)
+        if size > max(previous, self._config.record_capacity) + allowance:
+            raise SanitizerError(
+                f"[{context}] bucket {label} holds {size} records — over "
+                f"capacity {self._config.record_capacity} and more than "
+                f"{allowance} above the previous occupancy {previous}"
+            )
+
+    def _check_partition(self, leaves: set[Label], context: str) -> None:
+        ordered = sorted(leaves, key=lambda lab: (lab.interval.low, lab.depth))
+        cursor = 0.0
+        for leaf in ordered:
+            if leaf.interval.low != cursor:
+                kind = "gap" if leaf.interval.low > cursor else "overlap"
+                raise SanitizerError(
+                    f"[{context}] partition violated: {kind} before leaf "
+                    f"{leaf} at {cursor}"
+                )
+            cursor = leaf.interval.high
+        if cursor != 1.0:
+            raise SanitizerError(
+                f"[{context}] partition violated: coverage stops at {cursor}"
+            )
+
+    def _check_bijection(
+        self, leaves: set[Label], names: set[Label], context: str
+    ) -> None:
+        """Theorem 1: ``f_n`` maps the leaf set 1:1 onto the internal nodes."""
+        internals: set[Label] = {VIRTUAL_ROOT}
+        for leaf in leaves:
+            internals.update(leaf.ancestors())
+        if names != internals:
+            extra = {str(n) for n in names - internals}
+            missing = {str(n) for n in internals - names}
+            raise SanitizerError(
+                f"[{context}] Theorem 1 violated: storage keys != internal "
+                f"nodes (unexpected keys: {sorted(extra) or '{}'}; "
+                f"unnamed internals: {sorted(missing) or '{}'})"
+            )
+
+    # ------------------------------------------------------------------
+    # Operation hooks (called by LHTIndex when the sanitizer is active)
+    # ------------------------------------------------------------------
+
+    def after_mutation(self, context: str) -> None:
+        """Validate after one mutating index operation.
+
+        Runs a full sweep when one is due under the adaptive schedule:
+        always for small trees or after structural changes, one per
+        ``leaves / 32`` mutations for large trees (constant amortized
+        overhead), every mutation under ``LHT_SANITIZE=full``.
+        """
+        self._mutations_since_sweep += 1
+        leaves = len(self._sizes)
+        if (
+            self._full_sweeps
+            or self._sweep_due
+            or leaves <= _SWEEP_BASE
+            or self._mutations_since_sweep * _SWEEP_BASE >= leaves
+        ):
+            self.check(context)
+
+    def check_split(self, event: "SplitEvent") -> None:
+        """Theorem 2: the retained child keeps the parent's DHT key and
+        exactly one sibling moved to a new peer."""
+        parent, local, remote = event.parent, event.local, event.remote
+        if {local, remote} != {parent.left_child, parent.right_child}:
+            raise SanitizerError(
+                f"[split {parent}] children {local}, {remote} are not the "
+                f"two children of {parent}"
+            )
+        if naming(local) != naming(parent):
+            raise SanitizerError(
+                f"[split {parent}] Theorem 2 violated: retained child "
+                f"{local} has name {naming(local)}, parent's is "
+                f"{naming(parent)}"
+            )
+        if naming(remote) != parent:
+            raise SanitizerError(
+                f"[split {parent}] Theorem 2 violated: moved child {remote} "
+                f"should be stored under the parent label {parent}, "
+                f"f_n gives {naming(remote)}"
+            )
+        stayed = self._dht.peek(str(naming(parent)))
+        moved = self._dht.peek(str(parent))
+        if not isinstance(stayed, LeafBucket) or stayed.label != local:
+            raise SanitizerError(
+                f"[split {parent}] retained bucket under {naming(parent)} "
+                f"is {stayed!r}, expected leaf {local}"
+            )
+        if not isinstance(moved, LeafBucket) or moved.label != remote:
+            raise SanitizerError(
+                f"[split {parent}] moved bucket under {parent} is "
+                f"{moved!r}, expected leaf {remote}"
+            )
+        self._sweep_due = True
+        self.splits_checked += 1
+
+    def check_merge(self, event: "MergeEvent") -> None:
+        """The dual of the split check (name arithmetic only).
+
+        A merge chain may relabel the survivor again before hooks run, so
+        live placement is left to the full sweep in :meth:`after_mutation`;
+        here we check the Theorem 2 dual on the event itself: the absorbed
+        child is the one whose name is the parent label (it held the
+        parent-keyed slot the merge retires), so the survivor's own DHT
+        key is unchanged.
+        """
+        survivor, absorbed = event.survivor, event.absorbed
+        if absorbed.parent != survivor:
+            raise SanitizerError(
+                f"[merge {survivor}] absorbed {absorbed} is not a child of "
+                f"the survivor"
+            )
+        if naming(absorbed) != survivor:
+            raise SanitizerError(
+                f"[merge {survivor}] Theorem 2 dual violated: absorbed child "
+                f"{absorbed} is named {naming(absorbed)}, expected the "
+                f"parent label {survivor}"
+            )
+        if naming(absorbed.sibling) != naming(survivor):
+            raise SanitizerError(
+                f"[merge {survivor}] Theorem 2 dual violated: retained child "
+                f"{absorbed.sibling} does not share the parent's DHT key"
+            )
+        self._sweep_due = True
+        self.merges_checked += 1

@@ -47,5 +47,18 @@ class SimulationError(ReproError):
     """Base class for discrete-event simulation errors."""
 
 
+class SanitizerError(ReproError):
+    """The runtime sanitizer observed a violated structural invariant.
+
+    Raised by :class:`repro.devtools.sanitizer.IndexSanitizer` when a
+    mutating index operation leaves the distributed state inconsistent
+    with the paper's Theorems 1-2 or the §3.2 structural properties.
+    """
+
+
+class DeterminismError(SimulationError):
+    """Two same-seed runs of a workload produced diverging event traces."""
+
+
 class ConfigurationError(ReproError):
     """Invalid configuration parameters."""

@@ -139,7 +139,11 @@ def replay(index, trace: Iterable[Operation]) -> dict[str, float]:
         elif operation.op is OpType.LOOKUP:
             _, cost = index.exact_match(operation.key)
         else:
-            assert operation.hi is not None
+            if operation.hi is None:
+                raise ConfigurationError(
+                    f"range operation at key {operation.key} has no upper "
+                    f"bound"
+                )
             cost = index.range_query(operation.key, operation.hi).dht_lookups
         lookups[operation.op.value] += cost
         counts[f"n_{operation.op.value}"] += 1

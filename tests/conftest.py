@@ -21,6 +21,28 @@ settings.load_profile("repro")
 
 
 @pytest.fixture
+def assert_deterministic():
+    """Factory fixture: assert a seeded workload replays bit-identically.
+
+    Usage::
+
+        def test_chord_is_deterministic(assert_deterministic):
+            assert_deterministic(substrate="chord", seed=7, n_ops=200)
+
+    Wraps :func:`repro.devtools.determinism.check_determinism` and fails
+    with the first diverging trace line on mismatch.
+    """
+    from repro.devtools.determinism import check_determinism
+
+    def _assert(seed: int = 0, substrate: str = "local", **kwargs):
+        report = check_determinism(seed=seed, substrate=substrate, **kwargs)
+        assert report.matched, report.summary()
+        return report
+
+    return _assert
+
+
+@pytest.fixture
 def small_config() -> IndexConfig:
     """A small split threshold so trees grow quickly in tests."""
     return IndexConfig(theta_split=8, max_depth=20)

@@ -1,0 +1,263 @@
+"""Linter rule tests: each rule against good and violating fixtures.
+
+The fixtures are written into tmp_path so path-scoped rules (LHT001/2
+apply only inside ``sim``/``dht``/``core`` directories) can be exercised
+both in and out of scope.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import LINT_RULES, lint_paths, lint_source, main
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def codes(violations) -> list[str]:
+    return [v.code for v in violations]
+
+
+def lint_at(source: str, relpath: str, tmp_path: Path) -> list[str]:
+    """Lint a snippet as if it lived at ``relpath`` inside a package."""
+    file = tmp_path / relpath
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(source)
+    return codes(lint_paths([file]))
+
+
+class TestWallClockRule:
+    def test_time_time_flagged_in_sim(self, tmp_path):
+        src = "import time\n\ndef now():\n    return time.time()\n"
+        assert lint_at(src, "sim/clock2.py", tmp_path) == ["LHT001"]
+
+    def test_aliased_import_still_flagged(self, tmp_path):
+        src = "from time import time as wall\n\ndef f():\n    return wall()\n"
+        assert lint_at(src, "core/util.py", tmp_path) == ["LHT001"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        src = (
+            "from datetime import datetime\n\n"
+            "def stamp():\n    return datetime.now()\n"
+        )
+        assert lint_at(src, "dht/stamp.py", tmp_path) == ["LHT001"]
+
+    def test_wall_clock_allowed_outside_deterministic_packages(self, tmp_path):
+        src = "import time\n\ndef now():\n    return time.time()\n"
+        assert lint_at(src, "experiments/timing.py", tmp_path) == []
+
+    def test_simulated_clock_is_clean(self, tmp_path):
+        src = (
+            "class Clock:\n"
+            "    def __init__(self):\n        self.now = 0.0\n"
+            "    def advance_to(self, t):\n        self.now = t\n"
+        )
+        assert lint_at(src, "sim/clock2.py", tmp_path) == []
+
+
+class TestGlobalRandomnessRule:
+    def test_stdlib_random_call_flagged(self, tmp_path):
+        src = "import random\n\ndef draw():\n    return random.random()\n"
+        assert lint_at(src, "sim/draws.py", tmp_path) == ["LHT002"]
+
+    def test_from_random_import_flagged(self, tmp_path):
+        src = "from random import randint\n"
+        assert lint_at(src, "core/pick.py", tmp_path) == ["LHT002"]
+
+    def test_numpy_global_state_flagged(self, tmp_path):
+        src = "import numpy as np\n\ndef draw():\n    return np.random.rand(3)\n"
+        assert lint_at(src, "dht/jitter.py", tmp_path) == ["LHT002"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        src = (
+            "import numpy as np\n\n"
+            "def make():\n    return np.random.default_rng()\n"
+        )
+        assert lint_at(src, "sim/gen.py", tmp_path) == ["LHT002"]
+
+    def test_seeded_default_rng_is_clean(self, tmp_path):
+        src = (
+            "import numpy as np\n\n"
+            "def make(seed):\n    return np.random.default_rng(seed)\n"
+        )
+        assert lint_at(src, "sim/gen.py", tmp_path) == []
+
+    def test_randomness_allowed_outside_deterministic_packages(self, tmp_path):
+        src = "import random\n\ndef draw():\n    return random.random()\n"
+        assert lint_at(src, "scripts/demo.py", tmp_path) == []
+
+
+class TestBareAssertRule:
+    def test_assert_flagged_in_library_code(self, tmp_path):
+        src = "def check(x):\n    assert x > 0\n    return x\n"
+        assert lint_at(src, "workloads/check.py", tmp_path) == ["LHT003"]
+
+    def test_assert_allowed_in_tests(self, tmp_path):
+        src = "def test_x():\n    assert 1 + 1 == 2\n"
+        assert lint_at(src, "tests/test_x.py", tmp_path) == []
+        assert lint_at(src, "pkg/test_y.py", tmp_path) == []
+
+
+class TestMutableDefaultRule:
+    def test_list_default_flagged(self, tmp_path):
+        src = "def f(items=[]):\n    return items\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == ["LHT004"]
+
+    def test_dict_call_default_flagged(self, tmp_path):
+        src = "def f(table=dict()):\n    return table\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == ["LHT004"]
+
+    def test_kwonly_set_default_flagged(self, tmp_path):
+        src = "def f(*, seen=set()):\n    return seen\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == ["LHT004"]
+
+    def test_none_default_is_clean(self, tmp_path):
+        src = "def f(items=None):\n    return items or []\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == []
+
+
+BASE_SRC = """\
+import abc
+
+class DHT(abc.ABC):
+    @abc.abstractmethod
+    def put(self, key, value): ...
+
+    @abc.abstractmethod
+    def get(self, key): ...
+
+    @property
+    @abc.abstractmethod
+    def n_peers(self): ...
+"""
+
+GOOD_SUBSTRATE = """\
+from base import DHT
+
+class GoodDHT(DHT):
+    def put(self, key, value): ...
+    def get(self, key): ...
+    @property
+    def n_peers(self): return 1
+"""
+
+BAD_SUBSTRATE = """\
+from base import DHT
+
+class BadDHT(DHT):
+    def put(self, key, value): ...
+"""
+
+INDIRECT_SUBSTRATE = """\
+from good import GoodDHT
+
+class WrapperDHT(GoodDHT):
+    def extra(self): ...
+"""
+
+
+class TestSubstrateInterfaceRule:
+    def _write_pkg(self, tmp_path, **files: str) -> Path:
+        pkg = tmp_path / "dht"
+        pkg.mkdir()
+        (pkg / "base.py").write_text(BASE_SRC)
+        for name, src in files.items():
+            (pkg / f"{name}.py").write_text(src)
+        return pkg
+
+    def test_complete_substrate_is_clean(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, good=GOOD_SUBSTRATE)
+        assert codes(lint_paths([pkg])) == []
+
+    def test_incomplete_substrate_flagged(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, bad=BAD_SUBSTRATE)
+        violations = lint_paths([pkg])
+        assert codes(violations) == ["LHT005"]
+        assert "BadDHT" in violations[0].message
+        assert "get" in violations[0].message
+        assert "n_peers" in violations[0].message
+
+    def test_inherited_methods_count(self, tmp_path):
+        pkg = self._write_pkg(
+            tmp_path, good=GOOD_SUBSTRATE, wrap=INDIRECT_SUBSTRATE
+        )
+        assert codes(lint_paths([pkg])) == []
+
+
+class TestNoqaSuppression:
+    def test_blanket_noqa(self, tmp_path):
+        src = "def f(x=[]):  # noqa\n    return x\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == []
+
+    def test_code_specific_noqa(self, tmp_path):
+        src = "def f(x=[]):  # noqa: LHT004\n    return x\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == []
+
+    def test_wrong_code_noqa_does_not_suppress(self, tmp_path):
+        src = "def f(x=[]):  # noqa: LHT001\n    return x\n"
+        assert lint_at(src, "pkg/mod.py", tmp_path) == ["LHT004"]
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_crashed(self):
+        violations = lint_source("def broken(:\n", "pkg/mod.py")
+        assert codes(violations) == ["E999"]
+
+    def test_select_and_ignore(self, tmp_path):
+        src = "import random\n\ndef f(x=[]):\n    assert random.random()\n"
+        file = tmp_path / "sim" / "mod.py"
+        file.parent.mkdir()
+        file.write_text(src)
+        all_codes = set(codes(lint_paths([file])))
+        assert all_codes == {"LHT002", "LHT003", "LHT004"}
+        only = lint_paths([file], select=["LHT003"])
+        assert codes(only) == ["LHT003"]
+        without = lint_paths([file], ignore=["LHT003", "LHT004"])
+        assert codes(without) == ["LHT002"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\nrandom.seed(0)\n")
+        assert main([str(bad)]) == 1
+        assert "LHT002" in capsys.readouterr().out
+        good = tmp_path / "core" / "ok.py"
+        good.write_text("X = 1\n")
+        assert main([str(good)]) == 0
+
+    def test_missing_path_is_an_error_not_a_green_gate(self, tmp_path, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no such file"):
+            lint_paths([tmp_path / "nope"])
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_code_rejected(self, tmp_path, capsys):
+        from repro.errors import ConfigurationError
+
+        target = tmp_path / "mod.py"
+        target.write_text("X = 1\n")
+        with pytest.raises(ConfigurationError, match="unknown rule code"):
+            lint_paths([target], select=["LHT999"])
+        assert main([str(target), "--select", "LHT999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in LINT_RULES:
+            assert code in out
+
+
+class TestRepoGate:
+    def test_repo_source_tree_is_clean(self):
+        """The acceptance gate: the repo's own src/ has zero violations."""
+        violations = lint_paths([REPO_SRC])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    @pytest.mark.parametrize("code", sorted(LINT_RULES))
+    def test_rule_catalogue_documented(self, code):
+        assert LINT_RULES[code]

@@ -1,0 +1,239 @@
+"""Runtime-sanitizer tests: activation, healthy runs, corrupted trees.
+
+Complements ``tests/test_inspector_corruption.py``: the inspector is the
+suite's always-on oracle verifier; the sanitizer is the opt-in hook that
+runs equivalent (and stronger — Theorem 2 split/merge) checks after every
+mutating index operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IndexConfig, Label, LeafBucket, LHTIndex, Record
+from repro.core.results import MergeEvent, SplitEvent
+from repro.dht import ChordDHT, LocalDHT
+from repro.devtools.sanitizer import (
+    IndexSanitizer,
+    sanitizer_enabled,
+    sanitizer_mode,
+)
+from repro.errors import SanitizerError
+
+
+def _build(theta_split=4, n=60, sanitize=True, seed=0):
+    dht = LocalDHT(16, 0)
+    config = IndexConfig(theta_split=theta_split, max_depth=20, sanitize=sanitize)
+    index = LHTIndex(dht, config)
+    for key in np.random.default_rng(seed).random(n):
+        index.insert(float(key))
+    return index, dht, config
+
+
+class TestActivation:
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("LHT_SANITIZE", "1")
+        assert sanitizer_enabled()
+        assert sanitizer_mode() == "on"
+        index = LHTIndex(LocalDHT(4, 0), IndexConfig(theta_split=4))
+        assert index._sanitizer is not None
+
+    def test_env_var_full_mode(self, monkeypatch):
+        monkeypatch.setenv("LHT_SANITIZE", "full")
+        assert sanitizer_mode() == "full"
+        index = LHTIndex(LocalDHT(4, 0), IndexConfig(theta_split=4))
+        assert index._sanitizer is not None
+        assert index._sanitizer._full_sweeps
+
+    def test_env_var_falsy_values_disable(self, monkeypatch):
+        for value in ("0", "false", "off", ""):
+            monkeypatch.setenv("LHT_SANITIZE", value)
+            assert not sanitizer_enabled()
+            assert sanitizer_mode() == "off"
+        index = LHTIndex(LocalDHT(4, 0), IndexConfig(theta_split=4))
+        assert index._sanitizer is None
+
+    def test_config_flag_enables_without_env(self, monkeypatch):
+        monkeypatch.delenv("LHT_SANITIZE", raising=False)
+        index = LHTIndex(LocalDHT(4, 0), IndexConfig(theta_split=4, sanitize=True))
+        assert index._sanitizer is not None
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("LHT_SANITIZE", raising=False)
+        index = LHTIndex(LocalDHT(4, 0), IndexConfig(theta_split=4))
+        assert index._sanitizer is None
+
+
+class TestHealthyRuns:
+    def test_sanitized_insert_delete_workload(self):
+        index, _, _ = _build(n=80)
+        sanitizer = index._sanitizer
+        assert sanitizer is not None
+        assert sanitizer.checks_run > 0
+        assert sanitizer.splits_checked > 0
+
+    def test_sanitized_merge_workload(self):
+        dht = LocalDHT(8, 0)
+        index = LHTIndex(
+            dht,
+            IndexConfig(
+                theta_split=4, max_depth=20, merge_enabled=True, sanitize=True
+            ),
+        )
+        keys = [float(k) for k in np.random.default_rng(1).random(60)]
+        for key in keys:
+            index.insert(key)
+        for key in keys:
+            index.delete(key)
+        assert index._sanitizer.merges_checked > 0
+
+    def test_sanitized_chord_substrate(self):
+        dht = ChordDHT(n_peers=12, seed=0)
+        index = LHTIndex(dht, IndexConfig(theta_split=4, sanitize=True))
+        for key in np.random.default_rng(2).random(50):
+            index.insert(float(key))
+        assert index._sanitizer.checks_run > 0
+
+    def test_skewed_overflow_is_not_a_false_positive(self):
+        """A median split may shed nothing under skew; transient
+        over-capacity buckets are legal and must not trip the sanitizer."""
+        dht = LocalDHT(8, 0)
+        index = LHTIndex(dht, IndexConfig(theta_split=4, sanitize=True))
+        # Tight cluster: all keys share a long common prefix, so several
+        # consecutive median splits move zero records.
+        for i in range(12):
+            index.insert(0.300001 + i * 1e-9)
+        assert index._sanitizer.checks_run > 0
+
+
+class TestCorruptionDetection:
+    def test_bucket_under_wrong_key(self):
+        _, dht, config = _build(sanitize=False)
+        bucket = next(
+            b for k in dht.keys() if isinstance(b := dht.peek(k), LeafBucket)
+        )
+        dht.put(str(Label.parse("#01110011")), bucket)
+        with pytest.raises(SanitizerError, match="Theorem 1"):
+            IndexSanitizer(dht, config).check()
+
+    def test_missing_leaf_breaks_partition(self):
+        _, dht, config = _build(sanitize=False)
+        key = next(
+            k for k in dht.keys()
+            if isinstance(b := dht.peek(k), LeafBucket) and b.label.depth > 1
+        )
+        dht.remove(key)
+        with pytest.raises(SanitizerError):
+            IndexSanitizer(dht, config).check()
+
+    def test_overstuffed_bucket(self):
+        _, dht, config = _build(sanitize=False)
+        bucket = next(
+            b for k in dht.keys() if isinstance(b := dht.peek(k), LeafBucket)
+        )
+        low, width = bucket.label.interval.low, bucket.label.interval.width
+        bucket.extend(
+            [Record(float(low + width * (i + 1) / 40)) for i in range(30)]
+        )
+        with pytest.raises(SanitizerError, match="over"):
+            IndexSanitizer(dht, config).check()
+
+    def test_relabelled_bucket(self):
+        _, dht, config = _build(sanitize=False)
+        bucket = next(
+            b for k in dht.keys()
+            if isinstance(b := dht.peek(k), LeafBucket) and b.label.depth > 2
+        )
+        bucket.label = bucket.label.sibling
+        with pytest.raises(SanitizerError):
+            IndexSanitizer(dht, config).check()
+
+    def test_unparsable_storage_key(self):
+        _, dht, config = _build(sanitize=False)
+        dht.put("not-a-label", LeafBucket(Label("01")))
+        with pytest.raises(SanitizerError, match="unparsable"):
+            IndexSanitizer(dht, config).check()
+
+    def test_corruption_caught_on_next_mutation(self):
+        """The wired-in hook: corrupt between operations, the next insert
+        trips the sweep.  Overstuffing keeps the routing structure intact
+        so the corruption surfaces as a SanitizerError, not a lost lookup.
+        """
+        index, dht, _ = _build(sanitize=True, n=40)
+        bucket = next(
+            b for k in dht.keys() if isinstance(b := dht.peek(k), LeafBucket)
+        )
+        low, width = bucket.label.interval.low, bucket.label.interval.width
+        bucket.extend(
+            [Record(float(low + width * (i + 1) / 40)) for i in range(30)]
+        )
+        with pytest.raises(SanitizerError):
+            for probe in np.random.default_rng(9).random(10):
+                index.insert(float(probe))
+
+
+class TestTheorem2Checks:
+    def test_valid_split_event_passes(self):
+        index, dht, config = _build(sanitize=True, n=40)
+        sanitizer = index._sanitizer
+        assert sanitizer.splits_checked > 0  # exercised by the build
+
+    def test_split_event_with_swapped_children_rejected(self):
+        _, dht, config = _build(sanitize=False)
+        sanitizer = IndexSanitizer(dht, config)
+        # Parent ends in 0, so appending 0 extends the trailing run: the
+        # LEFT child shares f_n with the parent and must be retained.
+        parent = Label("010")
+        bogus = SplitEvent(
+            parent=parent,
+            local=parent.right_child,  # wrong child retained
+            remote=parent.left_child,
+            alpha=0.5,
+            records_moved=0,
+            dht_lookups=1,
+        )
+        with pytest.raises(SanitizerError, match="Theorem 2"):
+            sanitizer.check_split(bogus)
+
+    def test_split_event_with_foreign_children_rejected(self):
+        _, dht, config = _build(sanitize=False)
+        sanitizer = IndexSanitizer(dht, config)
+        bogus = SplitEvent(
+            parent=Label("010"),
+            local=Label("0110"),
+            remote=Label("0111"),
+            alpha=0.5,
+            records_moved=0,
+            dht_lookups=1,
+        )
+        with pytest.raises(SanitizerError, match="children"):
+            sanitizer.check_split(bogus)
+
+    def test_merge_event_dual_rejected(self):
+        _, dht, config = _build(sanitize=False)
+        sanitizer = IndexSanitizer(dht, config)
+        parent = Label("010")
+        # The absorbed child must be the parent-named one (#0101 here,
+        # since f_n(#0101) = #010); absorbing #0100 is the wrong dual.
+        bogus = MergeEvent(
+            survivor=parent,
+            absorbed=parent.left_child,
+            records_moved=0,
+            dht_lookups=2,
+        )
+        with pytest.raises(SanitizerError, match="Theorem 2 dual"):
+            sanitizer.check_merge(bogus)
+
+    def test_merge_event_valid_dual_passes(self):
+        _, dht, config = _build(sanitize=False)
+        sanitizer = IndexSanitizer(dht, config)
+        parent = Label("010")
+        good = MergeEvent(
+            survivor=parent,
+            absorbed=parent.right_child,  # f_n(#0101) = #010 = parent
+            records_moved=0,
+            dht_lookups=2,
+        )
+        sanitizer.check_merge(good)
+        assert sanitizer.merges_checked == 1
