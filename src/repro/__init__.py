@@ -26,11 +26,13 @@ Quickstart::
 
 from repro.baselines import DSTIndex, NaiveIndex, PHTIndex
 from repro.core import (
+    ExactMatchResult,
     IndexConfig,
     IndexInspector,
     Label,
     LeafBucket,
     LHTIndex,
+    MatchStatus,
     Range,
     Record,
     ReferenceTree,
@@ -46,6 +48,11 @@ from repro.dht import (
     PastryDHT,
 )
 from repro.multidim import MultiDimIndex
+from repro.resilience import (
+    CircuitBreaker,
+    ResilientDHT,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -53,11 +60,13 @@ __all__ = [
     "DSTIndex",
     "NaiveIndex",
     "PHTIndex",
+    "ExactMatchResult",
     "IndexConfig",
     "IndexInspector",
     "Label",
     "LeafBucket",
     "LHTIndex",
+    "MatchStatus",
     "Range",
     "Record",
     "ReferenceTree",
@@ -71,5 +80,8 @@ __all__ = [
     "MetricsRecorder",
     "PastryDHT",
     "MultiDimIndex",
+    "CircuitBreaker",
+    "ResilientDHT",
+    "RetryPolicy",
     "__version__",
 ]

@@ -34,8 +34,10 @@ from repro.core.serialize import (
 from repro.core.results import (
     CostLedger,
     DeleteResult,
+    ExactMatchResult,
     InsertResult,
     LookupResult,
+    MatchStatus,
     MergeEvent,
     MinMaxResult,
     RangeQueryResult,
@@ -85,8 +87,10 @@ __all__ = [
     "record_to_dict",
     "CostLedger",
     "DeleteResult",
+    "ExactMatchResult",
     "InsertResult",
     "LookupResult",
+    "MatchStatus",
     "MergeEvent",
     "MinMaxResult",
     "RangeQueryResult",

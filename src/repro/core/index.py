@@ -41,15 +41,17 @@ from repro.core.range_query import RangeQueryExecutor
 from repro.core.results import (
     CostLedger,
     DeleteResult,
+    ExactMatchResult,
     InsertResult,
     LookupResult,
+    MatchStatus,
     MergeEvent,
     MinMaxResult,
     RangeQueryResult,
     SplitEvent,
 )
 from repro.dht.base import DHT
-from repro.errors import LookupError_
+from repro.errors import DHTError, LookupError_
 
 __all__ = ["LHTIndex"]
 
@@ -107,6 +109,30 @@ class LHTIndex:
         if result.bucket is None:
             raise LookupError_(f"lookup of {key} failed to converge")
         return result.bucket.find(key), result.dht_lookups
+
+    def exact_match_checked(self, key: float) -> ExactMatchResult:
+        """Fault-aware exact match: PRESENT / proven-ABSENT / UNREACHABLE.
+
+        Unlike :meth:`exact_match`, non-convergence (dropped gets bending
+        Alg. 2's search, routing errors, an open circuit breaker) is
+        reported as :attr:`~repro.core.results.MatchStatus.UNREACHABLE`
+        rather than raised or conflated with absence.  ABSENT is only
+        claimed from a converged covering bucket — the one place the key
+        could legally live, by the partition invariant.
+        """
+        try:
+            result = self.lookup(key)
+        except DHTError:
+            self.dht.metrics.record_degraded()
+            return ExactMatchResult(MatchStatus.UNREACHABLE, None, 0)
+        if result.bucket is None:
+            self.dht.metrics.record_degraded()
+            return ExactMatchResult(
+                MatchStatus.UNREACHABLE, None, result.dht_lookups
+            )
+        record = result.bucket.find(key)
+        status = MatchStatus.PRESENT if record is not None else MatchStatus.ABSENT
+        return ExactMatchResult(status, record, result.dht_lookups)
 
     def __contains__(self, key: float) -> bool:
         record, _ = self.exact_match(key)
@@ -170,17 +196,24 @@ class LHTIndex:
     # Queries (§6, §7)
     # ------------------------------------------------------------------
 
-    def range_query(self, lo: float, hi: float) -> RangeQueryResult:
-        """All records with keys in ``[lo, hi)`` (Algs. 3-4)."""
-        return self._range_executor.run(Range(lo, hi))
+    def range_query(
+        self, lo: float, hi: float, degraded: bool = False
+    ) -> RangeQueryResult:
+        """All records with keys in ``[lo, hi)`` (Algs. 3-4).
 
-    def min_query(self) -> MinMaxResult:
+        With ``degraded=True``, unreachable subtrees yield an incomplete
+        result (``complete=False`` + their intervals) instead of an
+        exception — never silently partial data.
+        """
+        return self._range_executor.run(Range(lo, hi), degraded=degraded)
+
+    def min_query(self, degraded: bool = False) -> MinMaxResult:
         """The record with the smallest key (Theorem 3)."""
-        return min_query(self.dht, self.config)
+        return min_query(self.dht, self.config, degraded=degraded)
 
-    def max_query(self) -> MinMaxResult:
+    def max_query(self, degraded: bool = False) -> MinMaxResult:
         """The record with the largest key (Theorem 3)."""
-        return max_query(self.dht, self.config)
+        return max_query(self.dht, self.config, degraded=degraded)
 
     def scan(self) -> "Iterator[Record]":
         """Iterate every record in ascending key order (one DHT-lookup

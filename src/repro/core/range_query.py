@@ -31,6 +31,16 @@ All forwards issued by one bucket go out *in parallel*; latency is
 measured as the longest chain of sequential DHT-lookups
 (``parallel_steps``), the paper's §9.4 metric.  Bandwidth is the total
 DHT-lookup count — at most ``B + 3`` for ``B`` result buckets (§6.3).
+
+**Degraded mode** (``run(rng, degraded=True)``): under a faulty
+substrate the required gets above can fail even after repair.  The
+default behaviour is to raise (never to return silently partial data);
+in degraded mode the executor instead *records* each unreachable
+subtree's interval and keeps sweeping, returning a result with
+``complete=False`` and the unreachable ranges listed — the caller knows
+exactly which slices of the answer are missing.  Substrate-raised
+:class:`~repro.errors.DHTError` (routing failures, open circuit
+breakers) is absorbed the same way in degraded mode only.
 """
 
 from __future__ import annotations
@@ -45,7 +55,7 @@ from repro.core.lookup import lht_lookup
 from repro.core.naming import left_neighbor, naming, right_neighbor
 from repro.core.results import RangeQueryResult
 from repro.dht.base import DHT
-from repro.errors import LookupError_
+from repro.errors import DHTError, LookupError_
 
 __all__ = ["compute_lca", "RangeQueryExecutor"]
 
@@ -80,6 +90,13 @@ class _QueryState:
     max_step: int = 0
     collect_calls: int = 0  # diagnostics: equals len(visited) iff the
     # range decomposition is truly disjoint (asserted in tests)
+    degraded: bool = False
+    unreachable: list[Range] = field(default_factory=list)
+
+    def mark_unreachable(self, rng: Range) -> None:
+        """Record a sub-range whose leaves could not be fetched."""
+        if not rng.is_empty:
+            self.unreachable.append(rng)
 
 
 class RangeQueryExecutor:
@@ -93,12 +110,21 @@ class RangeQueryExecutor:
     # Public entry point
     # ------------------------------------------------------------------
 
-    def run(self, rng: Range) -> RangeQueryResult:
-        """Answer the range query ``[rng.lo, rng.hi)``."""
-        state = _QueryState()
+    def run(self, rng: Range, degraded: bool = False) -> RangeQueryResult:
+        """Answer the range query ``[rng.lo, rng.hi)``.
+
+        With ``degraded=True``, unreachable subtrees produce an
+        incomplete result (``complete=False`` plus their intervals)
+        instead of an exception; the answer is always a *correct subset*
+        with its gaps declared.
+        """
+        state = _QueryState(degraded=degraded)
         if not rng.is_empty:
             self._general_forward(rng, state)
         state.records.sort()
+        unreachable = tuple(sorted(state.unreachable, key=lambda r: r.lo))
+        if unreachable:
+            self._dht.metrics.record_degraded()
         return RangeQueryResult(
             records=tuple(state.records),
             dht_lookups=state.dht_lookups,
@@ -106,6 +132,8 @@ class RangeQueryExecutor:
             parallel_steps=state.max_step,
             buckets_visited=len(state.visited),
             collect_calls=state.collect_calls,
+            complete=not unreachable,
+            unreachable=unreachable,
         )
 
     # ------------------------------------------------------------------
@@ -120,12 +148,32 @@ class RangeQueryExecutor:
             # Case 1: no internal node f_n(LCA) — the whole range lies in
             # one leaf at or above it.  Degenerate to an exact-match-style
             # lookup of the lower bound.
-            result = lht_lookup(self._dht, self._config, float(rng.lo))
+            try:
+                result = lht_lookup(self._dht, self._config, float(rng.lo))
+            except DHTError:
+                if state.degraded:
+                    state.mark_unreachable(rng)
+                    return
+                raise
             state.dht_lookups += result.dht_lookups
             state.max_step = max(state.max_step, 1 + result.dht_lookups)
             if result.bucket is None:
+                if state.degraded:
+                    state.mark_unreachable(rng)
+                    return
                 raise LookupError_(f"range {rng}: degenerate lookup failed")
-            self._collect(result.bucket, rng, state)
+            interval = result.bucket.label.interval
+            if interval.low <= rng.lo and rng.hi <= interval.high:
+                self._collect(result.bucket, rng, state)
+            else:
+                # The single-leaf premise is falsified by the leaf itself:
+                # the probe of f_n(LCA) must have been *dropped*, not
+                # absent.  The leaf still contains the lower bound, so
+                # recover via the simple case instead of silently
+                # returning one bucket's slice of the answer.
+                self._simple_case(
+                    result.bucket, rng, 1 + result.dht_lookups, state
+                )
             return
 
         if bucket.label.interval.overlaps(rng):
@@ -148,8 +196,11 @@ class RangeQueryExecutor:
                 # f_n(child) and covers the whole sub-range.
                 repaired = self._get(naming(child), 3, state)
                 if repaired is None:
+                    if state.degraded:
+                        state.mark_unreachable(sub)
+                        continue
                     raise LookupError_(f"range {rng}: cannot reach child {child}")
-                self._collect(repaired, sub, state)
+                self._recover(repaired, sub, 3, state)
             else:
                 self._simple_case(child_bucket, sub, 2, state)
 
@@ -220,8 +271,14 @@ class RangeQueryExecutor:
                 # whether β is internal or a leaf itself).
                 neighbor = self._get(naming(beta), step + 1, state)
                 if neighbor is None:
-                    raise LookupError_(f"no leaf named f_n({beta})")
-                self._simple_case(neighbor, inv.to_range(), step + 1, state)
+                    if not state.degraded:
+                        raise LookupError_(f"no leaf named f_n({beta})")
+                    # Theorem 1 guarantees the leaf exists; the get was
+                    # dropped.  Declare the subtree's slice unreachable
+                    # and keep sweeping past it.
+                    state.mark_unreachable(inv.to_range())
+                else:
+                    self._simple_case(neighbor, inv.to_range(), step + 1, state)
                 boundary_hit = (
                     inv.high == rng.hi if rightwards else inv.low == rng.lo
                 )
@@ -238,8 +295,11 @@ class RangeQueryExecutor:
                 if neighbor is None:
                     repaired = self._get(naming(beta), step + 2, state)
                     if repaired is None:
+                        if state.degraded:
+                            state.mark_unreachable(sub)
+                            return
                         raise LookupError_(f"cannot reach subtree {beta}")
-                    self._collect(repaired, sub, state)
+                    self._recover(repaired, sub, step + 2, state)
                 else:
                     self._simple_case(neighbor, sub, step + 1, state)
                 return
@@ -248,10 +308,46 @@ class RangeQueryExecutor:
     # Helpers
     # ------------------------------------------------------------------
 
+    def _recover(
+        self, repaired: LeafBucket, sub: Range, step: int, state: _QueryState
+    ) -> None:
+        """Dispatch a subrange to a bucket fetched by an ``f_n`` repair.
+
+        On a clean substrate the failed get that triggered the repair
+        proves its label a leaf, so ``repaired`` covers ``sub`` entirely
+        and one collect finishes it.  Under dropped replies that proof is
+        unsound: the repair may have fetched just the *extreme leaf* of
+        an internal subtree.  The bucket's own label exposes the lie —
+        fall back to a full simple-case sweep when it still contains a
+        bound of ``sub``, and otherwise refuse to return silently partial
+        data (mark unreachable in degraded mode, raise outside it).
+        """
+        interval = repaired.label.interval
+        if interval.low <= sub.lo and sub.hi <= interval.high:
+            self._collect(repaired, sub, state)
+        elif interval.low <= sub.lo < interval.high or (
+            interval.low < sub.hi <= interval.high
+        ):
+            self._simple_case(repaired, sub, step, state)
+        elif state.degraded:
+            state.mark_unreachable(sub)
+        else:
+            raise LookupError_(
+                f"repair for {sub} landed outside it (dropped get?)"
+            )
+
     def _get(self, key: Label, step: int, state: _QueryState) -> LeafBucket | None:
-        bucket = self._dht.get(str(key))
         state.dht_lookups += 1
         state.max_step = max(state.max_step, step)
+        try:
+            bucket = self._dht.get(str(key))
+        except DHTError:
+            # Routing failures and open circuit breakers: in degraded
+            # mode they count as failed gets so the repair / unreachable
+            # bookkeeping above engages; otherwise they propagate typed.
+            if not state.degraded:
+                raise
+            bucket = None
         if bucket is None:
             state.failed_lookups += 1
         return bucket

@@ -10,13 +10,17 @@ Every operation reports the paper's cost measures alongside its payload:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 from repro.core.bucket import LeafBucket, Record
+from repro.core.interval import Range
 from repro.core.label import Label
 
 __all__ = [
     "LookupResult",
+    "MatchStatus",
+    "ExactMatchResult",
     "InsertResult",
     "DeleteResult",
     "RangeQueryResult",
@@ -48,6 +52,61 @@ class LookupResult:
     def found(self) -> bool:
         """Whether the lookup converged on a bucket."""
         return self.bucket is not None
+
+    @property
+    def unreachable(self) -> bool:
+        """Whether the lookup failed to converge.
+
+        On a quiescent, fault-free index this is impossible (Alg. 2
+        always terminates at the covering leaf), so non-convergence is
+        *evidence of unreachability* — dropped gets bent the search, or
+        the index is transiently inconsistent under churn.  It is never
+        evidence of absence: a key's presence is only decidable from a
+        converged bucket.
+        """
+        return self.bucket is None
+
+
+class MatchStatus(enum.Enum):
+    """Trichotomy of an exact-match outcome under possible faults.
+
+    The distinction matters because Alg. 2 reads failed DHT-gets
+    structurally: a lossy substrate can make a *present* key look absent
+    unless non-convergence is reported separately from a genuine miss.
+    """
+
+    #: The lookup converged and the record was in its bucket.
+    PRESENT = "present"
+    #: The lookup converged on the covering leaf and the record is not
+    #: there — *proven* absent (the covering bucket is the only place the
+    #: key could legally be, by the partition invariant).
+    ABSENT = "absent"
+    #: The lookup did not converge; presence is undecidable.
+    UNREACHABLE = "unreachable"
+
+
+@dataclass(frozen=True, slots=True)
+class ExactMatchResult:
+    """Outcome of a fault-aware exact-match query.
+
+    Unlike :meth:`~repro.core.index.LHTIndex.exact_match`, which raises
+    on non-convergence, this result reports unreachability as data so
+    degraded callers can distinguish "not stored" from "could not tell".
+    """
+
+    status: MatchStatus
+    record: Record | None
+    dht_lookups: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a record was returned (``status`` is PRESENT)."""
+        return self.status is MatchStatus.PRESENT
+
+    @property
+    def decided(self) -> bool:
+        """Whether presence was decided either way (not UNREACHABLE)."""
+        return self.status is not MatchStatus.UNREACHABLE
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +166,12 @@ class RangeQueryResult:
         parallel_steps: Length of the longest sequential DHT-lookup chain
             (the §9.4 latency measure).
         buckets_visited: Distinct leaf buckets that contributed records.
+        complete: Whether every overlapping leaf was reached.  ``False``
+            only in degraded mode, where unreachable subtrees are
+            reported instead of raised; a ``True`` flag promises
+            ``records`` is the full answer.
+        unreachable: Leaf intervals (as ranges, clipped to the query)
+            whose records could not be fetched.  Empty iff ``complete``.
     """
 
     records: tuple[Record, ...]
@@ -119,6 +184,8 @@ class RangeQueryResult:
     #: disjoint (each leaf handed exactly one subrange) — a stronger
     #: property than deduplicated results, asserted by the test suite.
     collect_calls: int = 0
+    complete: bool = True
+    unreachable: tuple[Range, ...] = ()
 
     @property
     def keys(self) -> list[float]:
@@ -128,10 +195,18 @@ class RangeQueryResult:
 
 @dataclass(frozen=True, slots=True)
 class MinMaxResult:
-    """Outcome of a min or max query (Theorem 3)."""
+    """Outcome of a min or max query (Theorem 3).
+
+    ``complete=False`` (degraded mode only) means the inward walk from
+    the extreme leaf was cut off by unreachable buckets: ``record`` may
+    be ``None`` even though the index holds records, and ``unreachable``
+    bounds where the true extremum could hide.
+    """
 
     record: Record | None
     dht_lookups: int
+    complete: bool = True
+    unreachable: tuple[Range, ...] = ()
 
 
 @dataclass(slots=True)

@@ -32,7 +32,7 @@ from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
 from repro.core.stats import IndexInspector
 from repro.dht.base import DHT
-from repro.errors import ConfigurationError, DeterminismError
+from repro.errors import ConfigurationError, DeterminismError, ReproError
 from repro.sim.rng import RngStreams, derive_seed
 from repro.workloads.trace import OpType, generate_trace
 
@@ -69,12 +69,29 @@ def _make_pastry(n_peers: int, seed: int) -> DHT:
     return PastryDHT(n_peers=n_peers, seed=seed)
 
 
+def _make_resilient_local(n_peers: int, seed: int) -> DHT:
+    """ResilientDHT over a lossy LocalDHT: exercises the retry/breaker
+    layer end-to-end — drops, backoff jitter, and degraded outcomes must
+    all replay identically from the root seed."""
+    from repro.dht.faulty import FaultyDHT
+    from repro.dht.local import LocalDHT
+    from repro.resilience.wrapper import ResilientDHT
+
+    faulty = FaultyDHT(
+        LocalDHT(n_peers=n_peers, seed=seed),
+        get_drop_rate=0.1,
+        seed=derive_seed(seed, "faults"),
+    )
+    return ResilientDHT(faulty, seed=derive_seed(seed, "retries"))
+
+
 #: Substrate name -> factory ``(n_peers, seed) -> DHT``.
 SUBSTRATES: dict[str, Callable[[int, int], DHT]] = {
     "local": _make_local,
     "chord": _make_chord,
     "kademlia": _make_kademlia,
     "pastry": _make_pastry,
+    "resilient-local": _make_resilient_local,
 }
 
 
@@ -106,25 +123,33 @@ def run_workload(
 
     events: list[str] = []
     for step, operation in enumerate(trace):
-        if operation.op is OpType.INSERT:
-            result = index.insert(operation.key)
-            cost = result.dht_lookups
-            detail = f" split={result.split.parent}" if result.split else ""
-        elif operation.op is OpType.DELETE:
-            dresult = index.delete(operation.key)
-            cost = dresult.dht_lookups
-            detail = f" deleted={dresult.deleted}"
-            if dresult.merges:
-                merged = ",".join(str(m.survivor) for m in dresult.merges)
-                detail += f" merged={merged}"
-        elif operation.op is OpType.LOOKUP:
-            record, cost = index.exact_match(operation.key)
-            detail = f" hit={record is not None}"
-        else:
-            hi = operation.hi if operation.hi is not None else operation.key
-            rresult = index.range_query(operation.key, hi)
-            cost = rresult.dht_lookups
-            detail = f" hi={hi!r} n={len(rresult.records)}"
+        # Faulty substrates (e.g. the resilient-local stack) may fail an
+        # operation even after retries; the *failure itself* must replay
+        # deterministically, so it becomes a trace event rather than an
+        # abort.  Fault-free substrates never take this path.
+        try:
+            if operation.op is OpType.INSERT:
+                result = index.insert(operation.key)
+                cost = result.dht_lookups
+                detail = f" split={result.split.parent}" if result.split else ""
+            elif operation.op is OpType.DELETE:
+                dresult = index.delete(operation.key)
+                cost = dresult.dht_lookups
+                detail = f" deleted={dresult.deleted}"
+                if dresult.merges:
+                    merged = ",".join(str(m.survivor) for m in dresult.merges)
+                    detail += f" merged={merged}"
+            elif operation.op is OpType.LOOKUP:
+                record, cost = index.exact_match(operation.key)
+                detail = f" hit={record is not None}"
+            else:
+                hi = operation.hi if operation.hi is not None else operation.key
+                rresult = index.range_query(operation.key, hi)
+                cost = rresult.dht_lookups
+                detail = f" hi={hi!r} n={len(rresult.records)}"
+        except ReproError as exc:
+            cost = 0
+            detail = f" error={type(exc).__name__}"
         events.append(
             f"{step:05d} {operation.op.value} key={operation.key!r} "
             f"cost={cost} records={index.record_count} "

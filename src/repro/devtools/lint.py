@@ -53,7 +53,7 @@ LINT_RULES: dict[str, str] = {
 }
 
 #: Top-level packages whose modules must be hermetic (LHT001/LHT002).
-DETERMINISTIC_PACKAGES = frozenset({"sim", "dht", "core"})
+DETERMINISTIC_PACKAGES = frozenset({"sim", "dht", "core", "resilience"})
 
 #: Fully qualified callables that read the wall clock.
 _WALL_CLOCK_CALLS = frozenset(
@@ -132,7 +132,9 @@ def _in_deterministic_package(path: Path) -> bool:
 
 
 def _in_dht_package(path: Path) -> bool:
-    return "dht" in path.parts[:-1]
+    # The resilience wrappers subclass DHT and must honour the same
+    # interface contract (LHT005) as the substrates proper.
+    return any(part in ("dht", "resilience") for part in path.parts[:-1])
 
 
 # ----------------------------------------------------------------------

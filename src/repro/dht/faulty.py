@@ -4,11 +4,23 @@ Over-DHT indexes interpret a failed DHT-get *structurally* (Alg. 2 treats
 it as "this internal node does not exist"), so transient routing failures
 are a genuine hazard for the whole scheme family.  This wrapper makes
 that hazard testable: it drops a configurable fraction of gets (returning
-``None`` as a lossy network would) and optionally fails puts.
+``None`` as a lossy network would) and optionally fails puts and removes.
+
+Failure semantics, per operation:
+
+* ``get`` — a dropped get returns ``None`` silently (the reply was lost;
+  the caller cannot distinguish it from a genuinely absent key).  Charged
+  as a failed get in the shared :class:`~repro.dht.metrics.MetricsRecorder`.
+* ``put`` / ``remove`` — an injected failure raises the typed
+  :class:`repro.errors.DHTError` (never a bare exception) and is charged
+  as a ``failed_puts`` / ``failed_removes`` metric, so lost mutations are
+  counted rather than silently vanishing from the cost ledgers.
 
 The failure-injection test suite uses it to pin down the safety
 contract: under dropped gets an index operation may return an *explicit*
-miss or raise, but it must never return wrong data silently.
+miss, raise, or flag itself degraded, but it must never return wrong
+data silently.  The resilience layer (:mod:`repro.resilience`) stacks on
+top to recover from these injected faults.
 """
 
 from __future__ import annotations
@@ -31,17 +43,21 @@ class FaultyDHT(DHT):
         inner: DHT,
         get_drop_rate: float = 0.0,
         put_fail_rate: float = 0.0,
+        remove_fail_rate: float = 0.0,
         seed: int = 0,
     ) -> None:
-        if not 0.0 <= get_drop_rate <= 1.0 or not 0.0 <= put_fail_rate <= 1.0:
+        rates = (get_drop_rate, put_fail_rate, remove_fail_rate)
+        if any(not 0.0 <= rate <= 1.0 for rate in rates):
             raise ConfigurationError("failure rates must be in [0, 1]")
         super().__init__(inner.metrics)
         self.inner = inner
         self.get_drop_rate = get_drop_rate
         self.put_fail_rate = put_fail_rate
+        self.remove_fail_rate = remove_fail_rate
         self._rng = np.random.default_rng(seed)
         self.dropped_gets = 0
         self.failed_puts = 0
+        self.failed_removes = 0
 
     # ------------------------------------------------------------------
     # DHT interface
@@ -50,6 +66,8 @@ class FaultyDHT(DHT):
     def put(self, key: str, value: Any) -> None:
         if self.put_fail_rate and self._rng.random() < self.put_fail_rate:
             self.failed_puts += 1
+            # Charge the lookup: the request was routed, the store failed.
+            self.metrics.record_failed_put(1)
             raise DHTError(f"injected put failure for {key!r}")
         self.inner.put(key, value)
 
@@ -63,6 +81,10 @@ class FaultyDHT(DHT):
         return self.inner.get(key)
 
     def remove(self, key: str) -> Any | None:
+        if self.remove_fail_rate and self._rng.random() < self.remove_fail_rate:
+            self.failed_removes += 1
+            self.metrics.record_failed_remove(1)
+            raise DHTError(f"injected remove failure for {key!r}")
         return self.inner.remove(key)
 
     def local_write(self, key: str, value: Any) -> None:

@@ -20,11 +20,17 @@ class MetricsSnapshot:
 
     dht_lookups: int = 0
     failed_gets: int = 0
+    failed_puts: int = 0
+    failed_removes: int = 0
     puts: int = 0
     gets: int = 0
     removes: int = 0
     hops: int = 0
     records_moved: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    degraded_responses: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         return MetricsSnapshot(
@@ -47,11 +53,17 @@ class MetricsRecorder:
     __slots__ = (
         "dht_lookups",
         "failed_gets",
+        "failed_puts",
+        "failed_removes",
         "puts",
         "gets",
         "removes",
         "hops",
         "records_moved",
+        "retries",
+        "breaker_trips",
+        "breaker_rejections",
+        "degraded_responses",
     )
 
     def __init__(self) -> None:
@@ -61,11 +73,17 @@ class MetricsRecorder:
         """Zero every counter."""
         self.dht_lookups = 0
         self.failed_gets = 0
+        self.failed_puts = 0
+        self.failed_removes = 0
         self.puts = 0
         self.gets = 0
         self.removes = 0
         self.hops = 0
         self.records_moved = 0
+        self.retries = 0
+        self.breaker_trips = 0
+        self.breaker_rejections = 0
+        self.degraded_responses = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -91,9 +109,54 @@ class MetricsRecorder:
         self.removes += 1
         self.hops += hops
 
+    def record_failed_put(self, hops: int) -> None:
+        """Account one routed DHT-put whose reply reported failure.
+
+        The network work happened (the lookup is charged, like a dropped
+        get), but the value was not stored.
+        """
+        self.dht_lookups += 1
+        self.puts += 1
+        self.hops += hops
+        self.failed_puts += 1
+
+    def record_failed_remove(self, hops: int) -> None:
+        """Account one routed DHT-remove whose reply reported failure."""
+        self.dht_lookups += 1
+        self.removes += 1
+        self.hops += hops
+        self.failed_removes += 1
+
     def record_moved_records(self, count: int) -> None:
         """Account records shipped between peers (cost-model unit ``i``)."""
         self.records_moved += count
+
+    # ------------------------------------------------------------------
+    # Resilience-layer events (no routed traffic of their own)
+    # ------------------------------------------------------------------
+
+    def record_retry(self) -> None:
+        """Account one retry attempt issued by the resilience layer.
+
+        The retried operation itself is charged as a normal get/put/remove
+        when it reaches the substrate; this counter only tracks how often
+        the retry machinery fired.
+        """
+        self.retries += 1
+
+    def record_breaker_trip(self) -> None:
+        """Account one circuit-breaker transition to the open state."""
+        self.breaker_trips += 1
+
+    def record_breaker_rejection(self) -> None:
+        """Account one operation rejected fast by an open breaker
+        (no routed traffic was attempted, so nothing else is charged)."""
+        self.breaker_rejections += 1
+
+    def record_degraded(self) -> None:
+        """Account one query answered with an incomplete (degraded)
+        result instead of an exception or silent partial data."""
+        self.degraded_responses += 1
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -104,11 +167,17 @@ class MetricsRecorder:
         return MetricsSnapshot(
             dht_lookups=self.dht_lookups,
             failed_gets=self.failed_gets,
+            failed_puts=self.failed_puts,
+            failed_removes=self.failed_removes,
             puts=self.puts,
             gets=self.gets,
             removes=self.removes,
             hops=self.hops,
             records_moved=self.records_moved,
+            retries=self.retries,
+            breaker_trips=self.breaker_trips,
+            breaker_rejections=self.breaker_rejections,
+            degraded_responses=self.degraded_responses,
         )
 
     def since(self, snap: MetricsSnapshot) -> MetricsSnapshot:

@@ -43,6 +43,15 @@ class RoutingError(DHTError):
     """Overlay routing failed to reach the peer responsible for a key."""
 
 
+class CircuitOpenError(DHTError):
+    """An operation was rejected fast because the circuit breaker is open.
+
+    Raised by :class:`repro.resilience.ResilientDHT` while its breaker
+    shields a substrate that has produced too many consecutive failures;
+    no routed operation is attempted (and none is charged).
+    """
+
+
 class SimulationError(ReproError):
     """Base class for discrete-event simulation errors."""
 

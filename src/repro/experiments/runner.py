@@ -19,6 +19,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablation_lookup,
+    availability,
     churn_study,
     churn_workload,
     eq3_saving,
@@ -51,6 +52,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str, int], list[ExperimentResult]]]]
     "latency": ("E19: simulated wall latency", latency_study.run),
     "workload": ("E20: maintenance under mixed workload", churn_workload.run),
     "hotspots": ("E21: query-traffic hot spots", hotspots.run),
+    "availability": ("E22: availability vs retry budget", availability.run),
 }
 
 

@@ -1,0 +1,37 @@
+"""Resilience layer: retry/backoff, circuit breaking, fault recovery.
+
+The paper motivates LHT with continuous peer dynamism (§1) yet its
+algorithms read a failed DHT-get structurally (Alg. 2).  This package
+supplies the recovery machinery a deployment needs between the index
+algorithms and a lossy substrate:
+
+* :class:`RetryPolicy` — seeded exponential backoff + jitter with
+  per-operation attempt and timeout budgets;
+* :class:`CircuitBreaker` — consecutive-failure breaker that half-opens
+  on a sim-clock schedule;
+* :class:`ResilientDHT` — the composition, stackable over any
+  :class:`~repro.dht.base.DHT` (including :class:`~repro.dht.faulty.FaultyDHT`
+  and :class:`~repro.dht.replicated.ReplicatedDHT`).
+
+Degraded-mode *query* semantics (``complete`` flags, unreachable
+intervals, proven-absent vs unreachable lookups) live with the query
+algorithms in :mod:`repro.core`; this package handles the substrate
+boundary.  See ``docs/resilience.md`` for the full design.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY_POLICY,
+    RetryPolicy,
+)
+from repro.resilience.wrapper import ResilientDHT
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY_POLICY",
+    "RetryPolicy",
+    "ResilientDHT",
+]

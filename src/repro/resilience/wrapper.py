@@ -1,0 +1,240 @@
+"""ResilientDHT: retries + timeout budgets + circuit breaking over any DHT.
+
+The paper's lookup algorithm reads a failed DHT-get *structurally*
+("this internal node does not exist", Alg. 2), so a lossy network can
+silently bend a query's search path.  This wrapper narrows that hazard
+at the substrate boundary, staying inside the over-DHT philosophy — it
+composes over any :class:`~repro.dht.base.DHT`, including other
+wrappers:
+
+* **Retries** (:class:`~repro.resilience.policy.RetryPolicy`): a get
+  that returns ``None`` is retried up to the attempt budget — a genuine
+  miss stays a miss (every attempt agrees), while a dropped reply is
+  recovered with probability ``1 - p^k``.  Puts and removes retry on
+  :class:`~repro.errors.DHTError`.
+* **Per-operation timeout budgets**: cumulative (simulated) backoff per
+  operation is capped, so one key cannot burn unbounded time.
+* **Circuit breaker** (:class:`~repro.resilience.breaker.CircuitBreaker`):
+  consecutive *infrastructure errors* (``DHTError`` raised by the inner
+  substrate — injected put/remove failures, routing errors) trip the
+  breaker; further operations fail fast with
+  :class:`~repro.errors.CircuitOpenError` until the sim-clock cool-down
+  half-opens it.  ``None``-gets never feed the breaker: an absent key is
+  a *valid answer* in the DHT interface, not a health signal.
+
+Stacking order matters and is free to the caller:
+``ResilientDHT(ReplicatedDHT(FaultyDHT(...)))`` retries the whole
+replica fan-out (each attempt fails over across replicas), which is the
+recommended composition for availability experiments.
+
+Cost accounting is honest: every retry attempt that reaches the
+substrate is charged there as a normal routed operation, and the shared
+:class:`~repro.dht.metrics.MetricsRecorder` additionally counts
+``retries``, ``breaker_trips`` and ``breaker_rejections`` so experiments
+can report lookup-cost inflation next to availability.
+
+Time: with no ``clock`` argument the wrapper owns a private
+:class:`~repro.sim.clock.Clock` and advances it ``op_tick`` per
+operation plus each backoff delay — deterministic and self-contained.
+Pass a simulator-driven clock instead to schedule the breaker on real
+simulated time (the wrapper then only reads it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, TypeVar
+
+import numpy as np
+
+from repro.dht.base import DHT
+from repro.errors import CircuitOpenError, DHTError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import RetryPolicy
+from repro.sim.clock import Clock
+from repro.sim.rng import derive_seed
+
+__all__ = ["ResilientDHT"]
+
+T = TypeVar("T")
+
+
+class ResilientDHT(DHT):
+    """Compose retries, timeout budgets, and a circuit breaker over a DHT.
+
+    Args:
+        inner: Any substrate (or wrapper stack) implementing the DHT
+            interface.
+        policy: Retry/backoff budget; defaults to
+            :data:`~repro.resilience.policy.DEFAULT_RETRY_POLICY`.
+        breaker: Circuit breaker; constructed on the wrapper's clock when
+            omitted.  A caller-supplied breaker should share ``clock``.
+        clock: Simulated time source.  Omitted → the wrapper owns a
+            private clock advanced per operation (see module docs).
+        seed: Root seed for the backoff-jitter stream (ignored when
+            ``rng`` is given); derived via :func:`repro.sim.rng.derive_seed`
+            so it never collides with other consumers.
+        rng: Explicit jitter generator, for callers managing streams.
+        op_tick: Virtual seconds a privately-owned clock advances per
+            operation (including fast rejections, so an open breaker can
+            reach its cool-down without external time).
+    """
+
+    def __init__(
+        self,
+        inner: DHT,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock: Clock | None = None,
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+        op_tick: float = 1.0,
+    ) -> None:
+        super().__init__(inner.metrics)  # share the recorder: costs add up
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self._owns_clock = clock is None
+        self.clock = clock or (breaker.clock if breaker is not None else Clock())
+        self.breaker = breaker or CircuitBreaker(clock=self.clock)
+        self._rng = rng or np.random.default_rng(derive_seed(seed, "resilience"))
+        self.op_tick = op_tick
+        # Local statistics (the shared metrics aggregate across wrappers).
+        self.retries = 0
+        self.confirmed_drops = 0
+        self.exhausted_gets = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    # Retry machinery
+    # ------------------------------------------------------------------
+
+    def _tick(self, seconds: float) -> None:
+        """Advance a privately-owned clock (no-op for external clocks,
+        which only their simulator may advance)."""
+        if self._owns_clock and seconds > 0:
+            self.clock.advance_to(self.clock.now + seconds)
+
+    def _gate(self, key: str) -> None:
+        """Fail fast when the breaker is open (nothing is routed)."""
+        self._tick(self.op_tick)
+        if not self.breaker.allows():
+            self.rejections += 1
+            self.metrics.record_breaker_rejection()
+            raise CircuitOpenError(
+                f"circuit open: operation on {key!r} rejected "
+                f"(cool-down {self.breaker.reset_timeout}s)"
+            )
+
+    def _record_failure(self) -> None:
+        """Feed one infrastructure failure to the breaker, counting a
+        trip in the shared metrics when it opens."""
+        if self.breaker.record_failure():
+            self.metrics.record_breaker_trip()
+
+    def _next_backoff(self, retry: int, spent: float) -> float | None:
+        """Backoff before retry ``retry``, or ``None`` when the attempt
+        or timeout budget is exhausted."""
+        if retry >= self.policy.max_retries:
+            return None
+        delay = self.policy.backoff(retry, self._rng)
+        budget = self.policy.timeout_budget
+        if budget is not None and spent + delay > budget:
+            return None
+        return delay
+
+    def _with_retries(self, operation: Callable[[], T]) -> T:
+        """Run a mutating operation, retrying on typed DHT errors.
+
+        Every failed attempt feeds the breaker; the terminal failure
+        re-raises the substrate's typed error.
+        """
+        retry = 0
+        spent = 0.0
+        while True:
+            try:
+                result = operation()
+            except CircuitOpenError:
+                raise  # never retry a fast rejection
+            except DHTError:
+                self._record_failure()
+                delay = self._next_backoff(retry, spent)
+                if delay is None:
+                    raise
+                self.retries += 1
+                self.metrics.record_retry()
+                self._tick(delay)
+                spent += delay
+                retry += 1
+            else:
+                self.breaker.record_success()
+                return result
+
+    # ------------------------------------------------------------------
+    # DHT interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        self._gate(key)
+        self._with_retries(lambda: self.inner.put(key, value))
+
+    def get(self, key: str) -> Any | None:
+        self._gate(key)
+        retry = 0
+        spent = 0.0
+        while True:
+            try:
+                value = self.inner.get(key)
+            except DHTError:
+                # Routing-level failure: same treatment as put/remove.
+                self._record_failure()
+                delay = self._next_backoff(retry, spent)
+                if delay is None:
+                    raise
+            else:
+                if value is not None:
+                    if retry:
+                        # The earlier None was a dropped reply, proven by
+                        # this success — worth counting, but the breaker
+                        # sees a completed operation.
+                        self.confirmed_drops += 1
+                    self.breaker.record_success()
+                    return value
+                # Ambiguous: absent key or dropped reply.  Retry while
+                # budget remains; the breaker is not consulted (an absent
+                # key is a valid answer, not a failure).
+                delay = self._next_backoff(retry, spent)
+                if delay is None:
+                    self.exhausted_gets += 1
+                    return None
+            self.retries += 1
+            self.metrics.record_retry()
+            self._tick(delay)
+            spent += delay
+            retry += 1
+
+    def remove(self, key: str) -> Any | None:
+        self._gate(key)
+        return self._with_retries(lambda: self.inner.remove(key))
+
+    def local_write(self, key: str, value: Any) -> None:
+        # Local disk writes involve no network: no retries, no breaker.
+        self.inner.local_write(key, value)
+
+    # ------------------------------------------------------------------
+    # Introspection (oracle access: never shielded, never charged)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        return self.inner.peek(key)
+
+    def keys(self) -> Iterable[str]:
+        return self.inner.keys()
+
+    def peer_of(self, key: str) -> int:
+        return self.inner.peer_of(key)
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.inner.peer_loads()
+
+    @property
+    def n_peers(self) -> int:
+        return self.inner.n_peers

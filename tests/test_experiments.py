@@ -150,6 +150,7 @@ class TestRunnerCLI:
             "latency",
             "workload",
             "hotspots",
+            "availability",
         }
 
     def test_latency_experiment(self):

@@ -1,0 +1,220 @@
+"""Property-based tests for the label algebra and tree invariants.
+
+Hypothesis sweeps the combinatorial core of the paper:
+
+* **Theorem 1** — the naming function ``f_n`` restricted to the leaves of
+  any space-partition tree is a bijection onto the internal nodes plus
+  the virtual root (generated trees, not hand-picked examples);
+* the label algebra's algebraic identities: parent/child roundtrips,
+  neighbor adjacency (Def. 3), next-naming name-class collapse (Def. 2),
+  naming prefix structure;
+* the leaf-interval **partition invariant**: the leaves of both a
+  generated tree and a real ``LHTIndex`` built from random keys tile
+  ``[0, 1)`` exactly, with no gaps and no overlaps.
+
+Profiles are configured in ``conftest.py``; CI runs with
+``HYPOTHESIS_PROFILE=ci`` (derandomized) so failures replay exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import IndexConfig, LHTIndex, Label, ROOT, VIRTUAL_ROOT
+from repro.core.keys import key_bits, label_for_key, mu_path
+from repro.core.naming import (
+    lca_label,
+    left_neighbor,
+    naming,
+    next_naming,
+    right_neighbor,
+)
+from repro.dht import LocalDHT
+from repro.errors import LabelError
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: Any non-virtual-root label: "0" plus up to 18 further bits.
+labels = st.text(alphabet="01", min_size=0, max_size=18).map(
+    lambda tail: Label("0" + tail)
+)
+
+#: Dyadic keys in [0, 1) at resolution 2^-16 — exactly representable, so
+#: every tree-arithmetic comparison is exact.
+dyadic_keys = st.integers(min_value=0, max_value=2**16 - 1).map(
+    lambda n: n / 2**16
+)
+
+
+def grow_tree(splits: list[int]) -> tuple[list[Label], set[Label]]:
+    """Deterministically grow a space-partition tree from split draws.
+
+    Starts from the single-leaf tree ``{#0}`` and, for each draw, splits
+    the leaf it indexes (mod the current leaf count).  Returns the final
+    leaves and every internal node created along the way.
+    """
+    leaves = [ROOT]
+    internal: set[Label] = set()
+    for draw in splits:
+        victim = leaves.pop(draw % len(leaves))
+        if victim.depth >= 20:
+            leaves.append(victim)
+            continue
+        internal.add(victim)
+        leaves.extend((victim.left_child, victim.right_child))
+    return leaves, internal
+
+
+tree_splits = st.lists(
+    st.integers(min_value=0, max_value=2**30), min_size=0, max_size=60
+)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: f_n is a bijection leaves -> internal nodes + virtual root
+# ----------------------------------------------------------------------
+
+
+class TestNamingBijectivity:
+    @given(tree_splits)
+    def test_fn_bijects_leaves_onto_internal_nodes(self, splits):
+        leaves, internal = grow_tree(splits)
+        names = [naming(leaf) for leaf in leaves]
+        # injective on the leaf set...
+        assert len(set(names)) == len(leaves)
+        # ...and surjective onto internal nodes + the virtual root.
+        assert set(names) == internal | {VIRTUAL_ROOT}
+
+    @given(labels)
+    def test_fn_is_a_proper_ancestor(self, label):
+        name = naming(label)
+        assert name.is_proper_prefix_of(label)
+        # The truncated run is maximal: the name never ends with the
+        # label's final bit.
+        assert name.is_virtual_root or name.last_bit != label.last_bit
+
+    @given(labels)
+    def test_fn_identifies_the_name_class(self, label):
+        """Every label between f_n(λ) and λ on λ's spine shares the name."""
+        name = naming(label)
+        bits = label.bits
+        for end in range(len(name.bits) + 1, len(bits) + 1):
+            assert naming(Label(bits[:end])) == name
+
+
+# ----------------------------------------------------------------------
+# Label algebra identities
+# ----------------------------------------------------------------------
+
+
+class TestLabelAlgebra:
+    @given(labels)
+    def test_child_parent_roundtrip(self, label):
+        assert label.left_child.parent == label
+        assert label.right_child.parent == label
+        assert label.left_child.sibling == label.right_child
+
+    @given(labels)
+    def test_interval_halving(self, label):
+        inv = label.interval
+        left, right = label.left_child.interval, label.right_child.interval
+        assert left.low == inv.low and right.high == inv.high
+        assert left.high == right.low == inv.midpoint
+
+    @given(labels)
+    def test_right_neighbor_adjacency(self, label):
+        neighbor = right_neighbor(label)
+        if label.on_rightmost_spine:
+            assert neighbor == label
+        else:
+            assert neighbor.interval.low == label.interval.high
+
+    @given(labels)
+    def test_left_neighbor_adjacency(self, label):
+        neighbor = left_neighbor(label)
+        if label.on_leftmost_spine:
+            assert neighbor == label
+        else:
+            assert neighbor.interval.high == label.interval.low
+
+    @given(dyadic_keys, st.integers(min_value=2, max_value=20))
+    def test_lookup_path_covers_its_key(self, key, depth):
+        mu = mu_path(key, depth)
+        assert mu.depth == depth
+        assert label_for_key(key, depth).contains(key)
+        # Every prefix of the path also covers the key.
+        for length in range(2, mu.length + 1):
+            assert mu.prefix(length).contains(key)
+
+    @given(dyadic_keys, st.integers(min_value=2, max_value=20))
+    def test_next_naming_skips_exactly_one_name_class(self, key, depth):
+        mu = mu_path(key, depth)
+        x = mu.prefix(2)
+        while x != mu:
+            try:
+                nxt = next_naming(x, mu)
+            except LabelError:
+                break  # μ continues with identical bits: end of classes
+            assert x.is_proper_prefix_of(nxt) and nxt.is_prefix_of(mu)
+            assert nxt.last_bit != x.last_bit
+            # All strictly intermediate prefixes share f_n(x)'s name.
+            for length in range(x.length + 1, nxt.length):
+                assert naming(mu.prefix(length)) == naming(x)
+            x = nxt
+
+    @given(dyadic_keys, dyadic_keys)
+    def test_lca_contains_both_paths(self, a, b):
+        mu_a, mu_b = mu_path(a, 20), mu_path(b, 20)
+        lca = lca_label(mu_a, mu_b)
+        assert lca.is_prefix_of(mu_a) and lca.is_prefix_of(mu_b)
+        if lca.depth < 20 and mu_a != mu_b:
+            # Deepest: the children already disagree.
+            assert mu_a.bits[lca.depth] != mu_b.bits[lca.depth]
+
+    @given(dyadic_keys, st.integers(min_value=1, max_value=19))
+    def test_key_bits_roundtrip(self, key, depth):
+        bits = key_bits(key, depth)
+        assert len(bits) == depth
+        low = Fraction(int(bits, 2) if bits else 0, 2**depth)
+        assert low <= Fraction(key).limit_denominator(2**30) < low + Fraction(1, 2**depth)
+
+
+# ----------------------------------------------------------------------
+# Partition invariant
+# ----------------------------------------------------------------------
+
+
+def assert_partitions_unit_interval(leaves: list[Label]) -> None:
+    ordered = sorted(leaves, key=lambda leaf: leaf.interval.low)
+    assert ordered[0].interval.low == 0
+    assert ordered[-1].interval.high == 1
+    for left, right in zip(ordered, ordered[1:]):
+        assert left.interval.high == right.interval.low  # no gap, no overlap
+
+
+class TestPartitionInvariant:
+    @given(tree_splits)
+    def test_generated_trees_tile_the_unit_interval(self, splits):
+        leaves, _ = grow_tree(splits)
+        assert_partitions_unit_interval(leaves)
+
+    @given(
+        st.lists(dyadic_keys, min_size=1, max_size=120, unique=True),
+        st.integers(min_value=4, max_value=12),
+    )
+    def test_live_index_leaves_tile_the_unit_interval(self, keys, theta):
+        index = LHTIndex(LocalDHT(8, 0), IndexConfig(theta_split=theta))
+        index.bulk_load(keys)
+        assert_partitions_unit_interval(index.leaf_labels())
+        # The partition is what makes proven-absence sound: every key is
+        # covered by exactly one leaf.
+        for key in keys[:10]:
+            covering = [
+                leaf for leaf in index.leaf_labels() if leaf.contains(key)
+            ]
+            assert len(covering) == 1
