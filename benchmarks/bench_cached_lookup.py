@@ -1,0 +1,77 @@
+"""E23 companion: cached vs uncached exact-match cost and speed.
+
+Times repeated exact matches on a prebuilt 20k-record index with the
+leaf cache on and off, and asserts the extension's shape: an ample warm
+cache answers in ~1 validated get per probe while the uncached baseline
+pays the full Alg. 2 binary search, with identical answers either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT
+
+from conftest import BENCH_DEPTH, BENCH_THETA
+
+N_PROBES = 1_000
+#: Zipf exponent for the skewed probe stream (cf. E23's sweep).
+SKEW = 1.2
+
+
+@pytest.fixture(scope="session")
+def lht_cached(uniform_keys) -> LHTIndex:
+    index = LHTIndex(
+        LocalDHT(64, 0),
+        IndexConfig(
+            theta_split=BENCH_THETA,
+            max_depth=BENCH_DEPTH,
+            cache_enabled=True,
+            cache_capacity=4096,
+        ),
+    )
+    index.bulk_load(uniform_keys)
+    return index
+
+
+def _zipf_probes(keys: list[float]) -> list[float]:
+    rng = np.random.default_rng(5)
+    ranked = rng.permutation(keys)
+    weights = np.arange(1, len(ranked) + 1, dtype=float) ** (-SKEW)
+    weights /= weights.sum()
+    return [float(k) for k in rng.choice(ranked, size=N_PROBES, p=weights)]
+
+
+def _total_cost(index, probes) -> int:
+    return sum(index.exact_match(k)[1] for k in probes)
+
+
+@pytest.mark.benchmark(group="cached-exact-match")
+def test_uncached_exact_match(benchmark, lht_uniform, uniform_keys):
+    probes = _zipf_probes(uniform_keys)
+    total = benchmark(_total_cost, lht_uniform, probes)
+    benchmark.extra_info["dht_lookups_per_probe"] = total / N_PROBES
+
+
+@pytest.mark.benchmark(group="cached-exact-match")
+def test_cached_exact_match(benchmark, lht_cached, uniform_keys):
+    probes = _zipf_probes(uniform_keys)
+    total = benchmark(_total_cost, lht_cached, probes)
+    benchmark.extra_info["dht_lookups_per_probe"] = total / N_PROBES
+
+
+def test_cached_shape(lht_uniform, lht_cached, uniform_keys):
+    """The warm cache cuts amortized cost while preserving every answer."""
+    probes = _zipf_probes(uniform_keys)
+    uncached = cached = 0
+    for key in probes:
+        u_record, u_cost = lht_uniform.exact_match(key)
+        c_record, c_cost = lht_cached.exact_match(key)
+        assert u_record is not None and c_record is not None
+        assert u_record.key == c_record.key
+        uncached += u_cost
+        cached += c_cost
+    assert cached / N_PROBES <= 1.5, "warm ample cache should amortize to ~1 get"
+    assert cached < uncached / 1.5, "expected a >1.5x amortized-cost cut"

@@ -25,6 +25,7 @@ Quickstart::
 """
 
 from repro.baselines import DSTIndex, NaiveIndex, PHTIndex
+from repro.cache import LeafCache
 from repro.core import (
     ExactMatchResult,
     IndexConfig,
@@ -60,6 +61,7 @@ __all__ = [
     "DSTIndex",
     "NaiveIndex",
     "PHTIndex",
+    "LeafCache",
     "ExactMatchResult",
     "IndexConfig",
     "IndexInspector",

@@ -33,6 +33,14 @@ class IndexConfig:
             (:class:`repro.devtools.sanitizer.IndexSanitizer`) after every
             mutating index operation.  Also switched on globally by the
             ``LHT_SANITIZE=1`` environment variable.
+        cache_enabled: Front lookups with a client-side
+            :class:`repro.cache.LeafCache` (see ``docs/performance.md``):
+            a cache hit answers an exact-match with one *validated*
+            DHT-get instead of the Alg. 2 binary search.  Off by default —
+            the paper's cost figures are measured uncached.
+        cache_capacity: Maximum leaf labels the cache retains (LRU
+            eviction).  Each entry is one short bit string, so memory is
+            negligible; the bound exists to model a constrained client.
     """
 
     theta_split: int = 100
@@ -40,6 +48,8 @@ class IndexConfig:
     merge_enabled: bool = False
     merge_threshold: int = 0
     sanitize: bool = False
+    cache_enabled: bool = False
+    cache_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.theta_split < 2:
@@ -54,6 +64,10 @@ class IndexConfig:
             raise ConfigurationError(
                 f"merge_threshold {self.merge_threshold} must lie in "
                 f"[2, theta_split={self.theta_split}]"
+            )
+        if self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1: {self.cache_capacity}"
             )
 
     @property

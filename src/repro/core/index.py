@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
     from repro.core.scan import KnnResult
 
+from repro.cache import LeafCache, cached_lookup
 from repro.core.bucket import LeafBucket, Record
 from repro.core.config import IndexConfig
 from repro.core.interval import Range
@@ -81,6 +82,16 @@ class LHTIndex:
         # Kept exact because this index instance performs every split and
         # merge itself; used only by the bulk_load fast path.
         self._leaf_bits: set[str] = {ROOT.bits}
+        # Optional leaf-label cache fronting every lookup (and therefore
+        # exact_match/insert/delete, which all start with one).  Sits
+        # *above* whatever substrate stack `dht` is — including a
+        # ResilientDHT — so breaker-open errors reach it typed and never
+        # mutate it (see repro.cache.lookup).
+        self.cache: LeafCache | None = (
+            LeafCache(self.config.cache_capacity)
+            if self.config.cache_enabled
+            else None
+        )
         self.record_count = 0
         # Bootstrap: the root leaf lives under f_n(#0) = '#'.
         self.dht.put(str(naming(ROOT)), LeafBucket(ROOT))
@@ -100,7 +111,15 @@ class LHTIndex:
     # ------------------------------------------------------------------
 
     def lookup(self, key: float) -> LookupResult:
-        """Locate the leaf bucket covering ``key`` (Alg. 2)."""
+        """Locate the leaf bucket covering ``key`` (Alg. 2).
+
+        With ``cache_enabled``, a cached covering label short-circuits
+        the binary search to one validated DHT-get (see
+        :func:`repro.cache.cached_lookup`); results are identical either
+        way, only the cost differs.
+        """
+        if self.cache is not None:
+            return cached_lookup(self.dht, self.config, self.cache, key)
         return lht_lookup(self.dht, self.config, key)
 
     def exact_match(self, key: float) -> tuple[Record | None, int]:
@@ -305,6 +324,8 @@ class LHTIndex:
         self._leaf_bits.discard(parent.bits)
         self._leaf_bits.add(local_label.bits)
         self._leaf_bits.add(remote_label.bits)
+        if self.cache is not None:
+            self.cache.on_split(event)
         return event, remote_bucket
 
     def _maybe_merge(self, bucket: LeafBucket) -> list[MergeEvent]:
@@ -356,6 +377,8 @@ class LHTIndex:
             self._leaf_bits.discard(parent.left_child.bits)
             self._leaf_bits.discard(parent.right_child.bits)
             self._leaf_bits.add(parent.bits)
+            if self.cache is not None:
+                self.cache.on_merge(event)
             bucket = survivor
         return events
 

@@ -27,10 +27,19 @@ common ancestor ``LCA`` locally and probes ``f_n(LCA)``:
   lookup fails; we repair with one ``f_n(child)`` lookup, which the
   paper's cost bound absorbs in its "+3".)
 
-All forwards issued by one bucket go out *in parallel*; latency is
-measured as the longest chain of sequential DHT-lookups
-(``parallel_steps``), the paper's §9.4 metric.  Bandwidth is the total
-DHT-lookup count — at most ``B + 3`` for ``B`` result buckets (§6.3).
+**Batched parallel rounds.**  The paper's latency claim (§9.4) rests on
+all forwards issued by one bucket going out *in parallel*; this executor
+makes that literal.  Expansion is frontier-driven: every DHT-get due at
+sequential step ``s`` is collected into one frontier and issued as a
+single :meth:`~repro.dht.base.DHT.multi_get` round; the buckets that
+come back enqueue their own forwards for step ``s + 1`` (repairs for
+``s + 2`` — a repair is sequential after the probe it repairs).  The
+total lookup count is exactly what the sequential formulation charges —
+at most ``B + 3`` for ``B`` result buckets (§6.3) — while latency is
+reported honestly as ``parallel_steps``, the longest chain of dependent
+lookups, with ``batch_rounds`` counting the multi-get rounds actually
+issued.  (The degenerate single-leaf case is the one inherently
+sequential stretch: Alg. 2's binary search.)
 
 **Degraded mode** (``run(rng, degraded=True)``): under a faulty
 substrate the required gets above can fail even after repair.  The
@@ -40,12 +49,14 @@ subtree's interval and keeps sweeping, returning a result with
 ``complete=False`` and the unreachable ranges listed — the caller knows
 exactly which slices of the answer are missing.  Substrate-raised
 :class:`~repro.errors.DHTError` (routing failures, open circuit
-breakers) is absorbed the same way in degraded mode only.
+breakers) is absorbed per frontier key in degraded mode only
+(``multi_get(..., absorb_errors=True)``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.core.bucket import LeafBucket, Record
 from repro.core.config import IndexConfig
@@ -80,6 +91,16 @@ def compute_lca(rng: Range, max_depth: int) -> Label:
 
 
 @dataclass(slots=True)
+class _PendingGet:
+    """One DHT-get due at a given sequential step, with continuations."""
+
+    key: Label
+    step: int
+    on_value: Callable[[LeafBucket], None]
+    on_miss: Callable[[], None]
+
+
+@dataclass(slots=True)
 class _QueryState:
     """Mutable accounting shared by one query execution."""
 
@@ -88,10 +109,13 @@ class _QueryState:
     dht_lookups: int = 0
     failed_lookups: int = 0
     max_step: int = 0
+    batch_rounds: int = 0
     collect_calls: int = 0  # diagnostics: equals len(visited) iff the
     # range decomposition is truly disjoint (asserted in tests)
     degraded: bool = False
     unreachable: list[Range] = field(default_factory=list)
+    #: Frontier: step -> gets due at that step, in enqueue order.
+    pending: dict[int, list[_PendingGet]] = field(default_factory=dict)
 
     def mark_unreachable(self, rng: Range) -> None:
         """Record a sub-range whose leaves could not be fetched."""
@@ -121,6 +145,7 @@ class RangeQueryExecutor:
         state = _QueryState(degraded=degraded)
         if not rng.is_empty:
             self._general_forward(rng, state)
+            self._drain(state)
         state.records.sort()
         unreachable = tuple(sorted(state.unreachable, key=lambda r: r.lo))
         if unreachable:
@@ -134,7 +159,57 @@ class RangeQueryExecutor:
             collect_calls=state.collect_calls,
             complete=not unreachable,
             unreachable=unreachable,
+            batch_rounds=state.batch_rounds,
         )
+
+    # ------------------------------------------------------------------
+    # Frontier machinery
+    # ------------------------------------------------------------------
+
+    def _enqueue(
+        self,
+        state: _QueryState,
+        key: Label,
+        step: int,
+        on_value: Callable[[LeafBucket], None],
+        on_miss: Callable[[], None],
+    ) -> None:
+        state.pending.setdefault(step, []).append(
+            _PendingGet(key, step, on_value, on_miss)
+        )
+
+    def _drain(self, state: _QueryState) -> None:
+        """Issue pending gets round by round until the frontier is empty.
+
+        Each round batches every get due at the earliest pending step
+        into one ``multi_get`` — one parallel round of routed lookups.
+        Continuations enqueue strictly later steps, so rounds advance
+        monotonically and the loop terminates with the sweep.
+        """
+        while state.pending:
+            step = min(state.pending)
+            batch = state.pending.pop(step)
+            state.batch_rounds += 1
+            state.dht_lookups += len(batch)
+            state.max_step = max(state.max_step, step)
+            values: list[Any] = self._dht.multi_get(
+                [str(task.key) for task in batch],
+                absorb_errors=state.degraded,
+            )
+            for task, value in zip(batch, values):
+                if value is None:
+                    state.failed_lookups += 1
+                    task.on_miss()
+                else:
+                    task.on_value(value)
+
+    def _unreachable_or_raise(
+        self, sub: Range, state: _QueryState, message: str
+    ) -> None:
+        if state.degraded:
+            state.mark_unreachable(sub)
+        else:
+            raise LookupError_(message)
 
     # ------------------------------------------------------------------
     # General case (Alg. 4)
@@ -142,47 +217,26 @@ class RangeQueryExecutor:
 
     def _general_forward(self, rng: Range, state: _QueryState) -> None:
         lca = compute_lca(rng, self._config.max_depth)
-        bucket = self._get(naming(lca), 1, state)
+        self._enqueue(
+            state,
+            naming(lca),
+            1,
+            on_value=lambda bucket: self._after_lca_probe(
+                bucket, lca, rng, state
+            ),
+            on_miss=lambda: self._degenerate_lookup(rng, state),
+        )
 
-        if bucket is None:
-            # Case 1: no internal node f_n(LCA) — the whole range lies in
-            # one leaf at or above it.  Degenerate to an exact-match-style
-            # lookup of the lower bound.
-            try:
-                result = lht_lookup(self._dht, self._config, float(rng.lo))
-            except DHTError:
-                if state.degraded:
-                    state.mark_unreachable(rng)
-                    return
-                raise
-            state.dht_lookups += result.dht_lookups
-            state.max_step = max(state.max_step, 1 + result.dht_lookups)
-            if result.bucket is None:
-                if state.degraded:
-                    state.mark_unreachable(rng)
-                    return
-                raise LookupError_(f"range {rng}: degenerate lookup failed")
-            interval = result.bucket.label.interval
-            if interval.low <= rng.lo and rng.hi <= interval.high:
-                self._collect(result.bucket, rng, state)
-            else:
-                # The single-leaf premise is falsified by the leaf itself:
-                # the probe of f_n(LCA) must have been *dropped*, not
-                # absent.  The leaf still contains the lower bound, so
-                # recover via the simple case instead of silently
-                # returning one bucket's slice of the answer.
-                self._simple_case(
-                    result.bucket, rng, 1 + result.dht_lookups, state
-                )
-            return
-
+    def _after_lca_probe(
+        self, bucket: LeafBucket, lca: Label, rng: Range, state: _QueryState
+    ) -> None:
         if bucket.label.interval.overlaps(rng):
             # Case 2: the returned extreme leaf contains one range bound.
             self._simple_case(bucket, rng, 1, state)
             return
 
         # Case 3: the range straddles LCA's midpoint but the extreme leaf
-        # lies outside it — fork to both children (issued in parallel).
+        # lies outside it — fork to both children (one parallel round).
         mid = lca.interval.midpoint
         for child, sub in (
             (lca.left_child, Range(rng.lo, min(mid, rng.hi))),
@@ -190,19 +244,52 @@ class RangeQueryExecutor:
         ):
             if sub.is_empty:
                 continue
-            child_bucket = self._get(child, 2, state)
-            if child_bucket is None:
-                # The child is itself a leaf; its bucket lives under
-                # f_n(child) and covers the whole sub-range.
-                repaired = self._get(naming(child), 3, state)
-                if repaired is None:
-                    if state.degraded:
-                        state.mark_unreachable(sub)
-                        continue
-                    raise LookupError_(f"range {rng}: cannot reach child {child}")
-                self._recover(repaired, sub, 3, state)
-            else:
-                self._simple_case(child_bucket, sub, 2, state)
+            self._enqueue(
+                state,
+                child,
+                2,
+                on_value=lambda b, sub=sub: self._simple_case(b, sub, 2, state),
+                on_miss=lambda child=child, sub=sub: self._enqueue(
+                    # The child is itself a leaf; its bucket lives under
+                    # f_n(child) and covers the whole sub-range.
+                    state,
+                    naming(child),
+                    3,
+                    on_value=lambda b, sub=sub: self._recover(b, sub, 3, state),
+                    on_miss=lambda child=child, sub=sub: self._unreachable_or_raise(
+                        sub, state, f"range {rng}: cannot reach child {child}"
+                    ),
+                ),
+            )
+
+    def _degenerate_lookup(self, rng: Range, state: _QueryState) -> None:
+        """Case 1: no internal node ``f_n(LCA)`` — the whole range lies in
+        one leaf at or above it.  Degenerate to an exact-match-style
+        lookup of the lower bound (inherently sequential: Alg. 2)."""
+        try:
+            result = lht_lookup(self._dht, self._config, float(rng.lo))
+        except DHTError:
+            if state.degraded:
+                state.mark_unreachable(rng)
+                return
+            raise
+        state.dht_lookups += result.dht_lookups
+        state.max_step = max(state.max_step, 1 + result.dht_lookups)
+        if result.bucket is None:
+            self._unreachable_or_raise(
+                rng, state, f"range {rng}: degenerate lookup failed"
+            )
+            return
+        interval = result.bucket.label.interval
+        if interval.low <= rng.lo and rng.hi <= interval.high:
+            self._collect(result.bucket, rng, state)
+        else:
+            # The single-leaf premise is falsified by the leaf itself:
+            # the probe of f_n(LCA) must have been *dropped*, not
+            # absent.  The leaf still contains the lower bound, so
+            # recover via the simple case instead of silently
+            # returning one bucket's slice of the answer.
+            self._simple_case(result.bucket, rng, 1 + result.dht_lookups, state)
 
     # ------------------------------------------------------------------
     # Simple case (Alg. 3)
@@ -239,11 +326,11 @@ class RangeQueryExecutor:
         state: _QueryState,
         rightwards: bool,
     ) -> None:
-        """Forward the query across successive neighboring subtrees.
+        """Enqueue forwards across successive neighboring subtrees.
 
         All forwards go out in parallel from this bucket (it infers every
-        branch node locally from its label), so each lands at
-        ``step + 1``; recursion into a subtree deepens the chain.
+        branch node locally from its label), so each joins the frontier
+        at ``step + 1``; recursion into a subtree deepens the chain.
         """
         beta = bucket.label
         while True:
@@ -268,17 +355,19 @@ class RangeQueryExecutor:
                 # The whole neighboring tree lies in range: hand its own
                 # interval to its extreme leaf, stored under f_n(β).
                 # This lookup cannot fail (Theorem 1 names some leaf f_n(β)
-                # whether β is internal or a leaf itself).
-                neighbor = self._get(naming(beta), step + 1, state)
-                if neighbor is None:
-                    if not state.degraded:
-                        raise LookupError_(f"no leaf named f_n({beta})")
-                    # Theorem 1 guarantees the leaf exists; the get was
-                    # dropped.  Declare the subtree's slice unreachable
-                    # and keep sweeping past it.
-                    state.mark_unreachable(inv.to_range())
-                else:
-                    self._simple_case(neighbor, inv.to_range(), step + 1, state)
+                # whether β is internal or a leaf itself) — a miss means
+                # the get was dropped.
+                self._enqueue(
+                    state,
+                    naming(beta),
+                    step + 1,
+                    on_value=lambda b, inv=inv, s=step + 1: self._simple_case(
+                        b, inv.to_range(), s, state
+                    ),
+                    on_miss=lambda beta=beta, inv=inv: self._unreachable_or_raise(
+                        inv.to_range(), state, f"no leaf named f_n({beta})"
+                    ),
+                )
                 boundary_hit = (
                     inv.high == rng.hi if rightwards else inv.low == rng.lo
                 )
@@ -287,21 +376,32 @@ class RangeQueryExecutor:
             else:
                 # β_k: the final subtree, containing the far bound strictly
                 # inside.  Its near-edge leaf is stored under β itself —
-                # the one lookup per sweep that can fail (β may be a leaf).
+                # the one lookup per sweep that can fail (β may be a leaf);
+                # the repair via f_n(β) is sequential after the failure.
                 sub = (
-                    Range(inv.low, rng.hi) if rightwards else Range(rng.lo, inv.high)
+                    Range(inv.low, rng.hi)
+                    if rightwards
+                    else Range(rng.lo, inv.high)
                 )
-                neighbor = self._get(beta, step + 1, state)
-                if neighbor is None:
-                    repaired = self._get(naming(beta), step + 2, state)
-                    if repaired is None:
-                        if state.degraded:
-                            state.mark_unreachable(sub)
-                            return
-                        raise LookupError_(f"cannot reach subtree {beta}")
-                    self._recover(repaired, sub, step + 2, state)
-                else:
-                    self._simple_case(neighbor, sub, step + 1, state)
+                self._enqueue(
+                    state,
+                    beta,
+                    step + 1,
+                    on_value=lambda b, sub=sub, s=step + 1: self._simple_case(
+                        b, sub, s, state
+                    ),
+                    on_miss=lambda beta=beta, sub=sub, s=step + 2: self._enqueue(
+                        state,
+                        naming(beta),
+                        s,
+                        on_value=lambda b, sub=sub, s=s: self._recover(
+                            b, sub, s, state
+                        ),
+                        on_miss=lambda beta=beta, sub=sub: self._unreachable_or_raise(
+                            sub, state, f"cannot reach subtree {beta}"
+                        ),
+                    ),
+                )
                 return
 
     # ------------------------------------------------------------------
@@ -335,22 +435,6 @@ class RangeQueryExecutor:
             raise LookupError_(
                 f"repair for {sub} landed outside it (dropped get?)"
             )
-
-    def _get(self, key: Label, step: int, state: _QueryState) -> LeafBucket | None:
-        state.dht_lookups += 1
-        state.max_step = max(state.max_step, step)
-        try:
-            bucket = self._dht.get(str(key))
-        except DHTError:
-            # Routing failures and open circuit breakers: in degraded
-            # mode they count as failed gets so the repair / unreachable
-            # bookkeeping above engages; otherwise they propagate typed.
-            if not state.degraded:
-                raise
-            bucket = None
-        if bucket is None:
-            state.failed_lookups += 1
-        return bucket
 
     @staticmethod
     def _collect(bucket: LeafBucket, rng: Range, state: _QueryState) -> None:

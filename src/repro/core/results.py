@@ -186,6 +186,12 @@ class RangeQueryResult:
     collect_calls: int = 0
     complete: bool = True
     unreachable: tuple[Range, ...] = ()
+    #: Number of batched ``multi_get`` rounds the executor issued — every
+    #: get due at the same sequential step ships in one round, so this is
+    #: the count of *round trips* a parallel client would pay.  At most
+    #: ``parallel_steps`` + the degenerate case's sequential stretch; 0
+    #: for an empty range.
+    batch_rounds: int = 0
 
     @property
     def keys(self) -> list[float]:

@@ -1,0 +1,250 @@
+"""Count-based benchmark regression gate.
+
+Wall-clock benchmarks (``benchmarks/``) measure speed but drift with the
+host; the *counts* the paper cares about — routed DHT-gets per
+operation, parallel lookup steps, records moved by maintenance — are
+exactly reproducible from a seed.  This module measures those counts on
+a fixed workload and compares them against checked-in baselines
+(``BENCH_lookup.json`` / ``BENCH_range.json`` at the repository root),
+so a change that silently makes lookups or range queries more expensive
+fails a test instead of a human's memory.
+
+Usage::
+
+    python -m repro.devtools.benchgate --check           # gate (default)
+    python -m repro.devtools.benchgate --write           # refresh baselines
+
+The pytest gate (``tests/test_bench_regression.py``, marked ``bench``)
+runs the same measurement and fails on any metric that regresses more
+than :data:`TOLERANCE` over its baseline.  Improvements are accepted
+silently — refresh the baselines with ``--write`` to bank them.  All
+gated metrics are lower-is-better.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.dht.local import LocalDHT
+from repro.errors import ReproError
+from repro.sim.rng import derive_seed
+
+__all__ = [
+    "TOLERANCE",
+    "LOOKUP_BASELINE",
+    "RANGE_BASELINE",
+    "measure_lookup",
+    "measure_range",
+    "compare",
+    "main",
+]
+
+#: Allowed relative regression before the gate fails.
+TOLERANCE = 0.10
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+LOOKUP_BASELINE = _REPO_ROOT / "BENCH_lookup.json"
+RANGE_BASELINE = _REPO_ROOT / "BENCH_range.json"
+
+#: Fixed workload shape — the baselines are only comparable against the
+#: exact same parameters, so they are recorded alongside the metrics.
+_PARAMS = {
+    "seed": 1,
+    "n_keys": 4096,
+    "n_inserts": 512,
+    "n_probes": 400,
+    "n_ranges": 12,
+    "theta_split": 100,
+    "max_depth": 20,
+    "probe_skew": 1.1,
+    "cache_small_capacity": 16,
+    "cache_ample_capacity": 4096,
+}
+
+
+def _build(seed: int, *, cache_capacity: int | None) -> tuple[LHTIndex, list[float]]:
+    dht = LocalDHT(n_peers=16, seed=derive_seed(seed, "bench:sub"))
+    config = IndexConfig(
+        theta_split=_PARAMS["theta_split"],
+        max_depth=_PARAMS["max_depth"],
+        cache_enabled=cache_capacity is not None,
+        cache_capacity=cache_capacity if cache_capacity is not None else 1024,
+    )
+    index = LHTIndex(dht, config)
+    rng = np.random.default_rng(derive_seed(seed, "bench:keys"))
+    keys = [float(k) for k in rng.random(_PARAMS["n_keys"])]
+    index.bulk_load(keys)
+    if index.cache is not None:
+        index.cache.clear()  # measure steady-state reads, not build residue
+    return index, keys
+
+
+def _probe_stream(keys: list[float], seed: int) -> list[float]:
+    """A Zipf-over-rank probe stream on stored keys (cf. experiment E23)."""
+    rng = np.random.default_rng(derive_seed(seed, "bench:probes"))
+    ranked = rng.permutation(keys)
+    weights = np.arange(1, len(ranked) + 1, dtype=float) ** (
+        -_PARAMS["probe_skew"]
+    )
+    weights /= weights.sum()
+    return [
+        float(k)
+        for k in rng.choice(ranked, size=_PARAMS["n_probes"], p=weights)
+    ]
+
+
+def _probe_cost(index: LHTIndex, probes: list[float]) -> float:
+    before = index.dht.metrics.snapshot()
+    for key in probes:
+        record, _ = index.exact_match(key)
+        if record is None:
+            raise ReproError(f"stored key {key!r} reported absent")
+    spent = index.dht.metrics.snapshot() - before
+    return spent.gets / len(probes)
+
+
+def measure_lookup(seed: int = 1) -> dict:
+    """Exact-match and insertion counts on the fixed workload."""
+    uncached, keys = _build(seed, cache_capacity=None)
+    probes = _probe_stream(keys, seed)
+    metrics: dict[str, float] = {
+        "uncached_gets_per_probe": _probe_cost(uncached, probes)
+    }
+    for arm, capacity in (
+        ("cached_small", _PARAMS["cache_small_capacity"]),
+        ("cached_ample", _PARAMS["cache_ample_capacity"]),
+    ):
+        index, _ = _build(seed, cache_capacity=capacity)
+        metrics[f"{arm}_gets_per_probe"] = _probe_cost(index, probes)
+
+    # Maintenance counts: individual inserts on top of the built index
+    # (bulk_load sidesteps per-insert lookups, so it would hide both).
+    index, _ = _build(seed, cache_capacity=None)
+    rng = np.random.default_rng(derive_seed(seed, "bench:inserts"))
+    before = index.dht.metrics.snapshot()
+    for key in rng.random(_PARAMS["n_inserts"]):
+        index.insert(float(key))
+    spent = index.dht.metrics.snapshot() - before
+    metrics["insert_gets_per_op"] = spent.gets / _PARAMS["n_inserts"]
+    metrics["records_moved_per_insert"] = (
+        spent.records_moved / _PARAMS["n_inserts"]
+    )
+    return {"params": dict(_PARAMS), "metrics": metrics}
+
+
+def measure_range(seed: int = 1) -> dict:
+    """Range-query counts (bandwidth, latency, rounds, B+3 slack)."""
+    index, _ = _build(seed, cache_capacity=None)
+    rng = np.random.default_rng(derive_seed(seed, "bench:ranges"))
+    totals = {"gets": 0.0, "steps": 0.0, "rounds": 0.0, "slack": 0.0}
+    n = _PARAMS["n_ranges"]
+    for _ in range(n):
+        lo = float(rng.uniform(0.0, 0.9))
+        hi = float(min(1.0, lo + rng.uniform(0.01, 0.4)))
+        result = index.range_query(lo, hi)
+        if not result.complete:
+            raise ReproError("fault-free range query reported gaps")
+        totals["gets"] += result.dht_lookups
+        totals["steps"] += result.parallel_steps
+        totals["rounds"] += result.batch_rounds
+        # §6.3: at most B + 3 lookups for B result buckets.
+        totals["slack"] += result.dht_lookups - result.buckets_visited
+    metrics = {
+        "gets_per_query": totals["gets"] / n,
+        "parallel_steps_per_query": totals["steps"] / n,
+        "batch_rounds_per_query": totals["rounds"] / n,
+        "lookup_slack_per_query": totals["slack"] / n,
+    }
+    return {"params": dict(_PARAMS), "metrics": metrics}
+
+
+def compare(
+    current: Mapping[str, float],
+    baseline: Mapping[str, float],
+    tolerance: float = TOLERANCE,
+) -> list[str]:
+    """Violations of ``current <= baseline * (1 + tolerance)`` per metric.
+
+    Comparison runs over the *baseline's* keys: metrics added since a
+    baseline was written are not gated until ``--write`` records them
+    (mirroring snapshot-counter accretion), but a metric the current
+    measurement *lost* is itself a violation — a silently renamed metric
+    must not un-gate a regression.
+    """
+    violations: list[str] = []
+    for name, base in baseline.items():
+        if name not in current:
+            violations.append(f"{name}: missing from current measurement")
+            continue
+        limit = base * (1.0 + tolerance)
+        if current[name] > limit:
+            violations.append(
+                f"{name}: {current[name]:.4f} exceeds baseline "
+                f"{base:.4f} by more than {tolerance:.0%}"
+            )
+    return violations
+
+
+def _check_file(path: Path, current: dict) -> list[str]:
+    if not path.exists():
+        return [f"{path.name}: baseline missing (run --write)"]
+    baseline = json.loads(path.read_text())
+    if baseline.get("params") != current["params"]:
+        return [
+            f"{path.name}: workload parameters changed; refresh with --write"
+        ]
+    return [
+        f"{path.name}: {v}"
+        for v in compare(current["metrics"], baseline["metrics"])
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchgate",
+        description="Count-based benchmark regression gate.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true", help="refresh the checked-in baselines"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baselines (default)",
+    )
+    parser.add_argument("--seed", type=int, default=_PARAMS["seed"])
+    args = parser.parse_args(argv)
+
+    measurements = {
+        LOOKUP_BASELINE: measure_lookup(args.seed),
+        RANGE_BASELINE: measure_range(args.seed),
+    }
+    if args.write:
+        for path, current in measurements.items():
+            path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path}")
+        return 0
+
+    failures: list[str] = []
+    for path, current in measurements.items():
+        failures.extend(_check_file(path, current))
+        for name, value in current["metrics"].items():
+            print(f"{path.name}: {name} = {value:.4f}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print("benchgate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,7 +92,15 @@ SUBSTRATES: dict[str, Callable[[int, int], DHT]] = {
     "kademlia": _make_kademlia,
     "pastry": _make_pastry,
     "resilient-local": _make_resilient_local,
+    # The cache is index-level, not DHT-level: this arm runs the plain
+    # local substrate with ``cache_enabled`` turned on in the IndexConfig
+    # (see ``run_workload``), at a small capacity so eviction, split and
+    # merge invalidation, and stale-entry fallbacks all replay.
+    "cached-local": _make_local,
 }
+
+#: Substrates that enable the leaf cache on the *index* they drive.
+_CACHED_SUBSTRATES = frozenset({"cached-local"})
 
 
 def run_workload(
@@ -119,7 +127,12 @@ def run_workload(
     streams = RngStreams(seed)
     trace = generate_trace(n_ops, streams.stream("workload"), distribution)
     dht = SUBSTRATES[substrate](n_peers, derive_seed(seed, "substrate"))
-    index = LHTIndex(dht, IndexConfig(theta_split=theta_split))
+    config = IndexConfig(
+        theta_split=theta_split,
+        cache_enabled=substrate in _CACHED_SUBSTRATES,
+        cache_capacity=32,
+    )
+    index = LHTIndex(dht, config)
 
     events: list[str] = []
     for step, operation in enumerate(trace):

@@ -19,9 +19,10 @@ Substrates in this package:
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.dht.metrics import MetricsRecorder
+from repro.errors import DHTError
 
 __all__ = ["DHT"]
 
@@ -52,6 +53,37 @@ class DHT(abc.ABC):
     @abc.abstractmethod
     def remove(self, key: str) -> Any | None:
         """Delete and return the value under ``key``, or ``None``."""
+
+    def multi_get(
+        self, keys: Sequence[str], *, absorb_errors: bool = False
+    ) -> list[Any | None]:
+        """Issue one *batched parallel round* of gets, in key order.
+
+        The paper's range algorithm forwards all of one bucket's
+        sub-queries simultaneously (§6.3), so the index layer hands a
+        whole frontier to the substrate at once.  Each key is still
+        charged as one DHT-lookup — batching changes latency (one
+        parallel step per round), never bandwidth.
+
+        This default issues the gets sequentially through :meth:`get`;
+        substrates with genuinely concurrent transports may override it,
+        preserving both the per-key accounting and the result order.
+
+        With ``absorb_errors=True`` (degraded-mode callers), a typed
+        :class:`~repro.errors.DHTError` on one key — a routing failure,
+        an open circuit breaker — yields ``None`` for that key instead
+        of failing the round; otherwise the error propagates and the
+        round's remaining keys are not attempted.
+        """
+        values: list[Any | None] = []
+        for key in keys:
+            try:
+                values.append(self.get(key))
+            except DHTError:
+                if not absorb_errors:
+                    raise
+                values.append(None)
+        return values
 
     # ------------------------------------------------------------------
     # Local persistence (free of lookup cost)

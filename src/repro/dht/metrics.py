@@ -10,13 +10,22 @@ difference, so the same harness works unchanged over any substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Any, Mapping
 
 __all__ = ["MetricsSnapshot", "MetricsRecorder"]
 
 
 @dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
-    """Immutable counter values; supports subtraction for per-op deltas."""
+    """Immutable counter values; supports subtraction for per-op deltas.
+
+    Counters accrete over the project's life (the resilience counters
+    arrived after the substrate ones, the cache counters after those), so
+    snapshot arithmetic must tolerate *older* snapshots — ones captured
+    before a counter existed, whether in-process (a pickled baseline, a
+    subclass) or rehydrated from JSON via :meth:`from_dict`.  Any counter
+    the other operand lacks reads as 0.
+    """
 
     dht_lookups: int = 0
     failed_gets: int = 0
@@ -31,14 +40,32 @@ class MetricsSnapshot:
     breaker_trips: int = 0
     breaker_rejections: int = 0
     degraded_responses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         return MetricsSnapshot(
             **{
-                f.name: getattr(self, f.name) - getattr(other, f.name)
+                f.name: getattr(self, f.name) - getattr(other, f.name, 0)
                 for f in fields(self)
             }
         )
+
+    def to_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (JSON-friendly)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        """Rehydrate a snapshot saved when fewer counters existed.
+
+        Missing counters default to 0; unknown keys (counters this
+        version no longer has) are ignored rather than raised, so old
+        and new baselines stay mutually readable.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in known})
 
 
 class MetricsRecorder:
@@ -64,6 +91,9 @@ class MetricsRecorder:
         "breaker_trips",
         "breaker_rejections",
         "degraded_responses",
+        "cache_hits",
+        "cache_misses",
+        "cache_stale",
     )
 
     def __init__(self) -> None:
@@ -84,6 +114,9 @@ class MetricsRecorder:
         self.breaker_trips = 0
         self.breaker_rejections = 0
         self.degraded_responses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stale = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -159,27 +192,50 @@ class MetricsRecorder:
         self.degraded_responses += 1
 
     # ------------------------------------------------------------------
+    # Leaf-cache events (the validation get is charged separately as a
+    # normal routed get when it reaches the substrate)
+    # ------------------------------------------------------------------
+
+    def record_cache_hit(self) -> None:
+        """Account one cached leaf label validated by a single DHT-get."""
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """Account one lookup that found no cached covering label."""
+        self.cache_misses += 1
+
+    def record_cache_stale(self) -> None:
+        """Account one cached label whose validation probe no longer
+        covered the key (split/merge moved the leaf, or the reply was
+        dropped); the lookup fell back to the binary search."""
+        self.cache_stale += 1
+
+    # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
-        """Capture current counter values."""
+        """Capture current counter values.
+
+        Counters the recorder does not carry (an older recorder pickled
+        into a fixture, say) read as 0, mirroring
+        :meth:`MetricsSnapshot.from_dict`.
+        """
         return MetricsSnapshot(
-            dht_lookups=self.dht_lookups,
-            failed_gets=self.failed_gets,
-            failed_puts=self.failed_puts,
-            failed_removes=self.failed_removes,
-            puts=self.puts,
-            gets=self.gets,
-            removes=self.removes,
-            hops=self.hops,
-            records_moved=self.records_moved,
-            retries=self.retries,
-            breaker_trips=self.breaker_trips,
-            breaker_rejections=self.breaker_rejections,
-            degraded_responses=self.degraded_responses,
+            **{
+                f.name: getattr(self, f.name, 0)
+                for f in fields(MetricsSnapshot)
+            }
         )
 
     def since(self, snap: MetricsSnapshot) -> MetricsSnapshot:
-        """Delta between now and an earlier snapshot."""
+        """Delta between now and an earlier snapshot.
+
+        The snapshot may predate counters added since it was taken
+        (missing attributes subtract as 0 — see
+        :meth:`MetricsSnapshot.__sub__`).
+        """
         return self.snapshot() - snap
+
+    #: Alias: ``delta`` reads better at experiment call sites.
+    delta = since

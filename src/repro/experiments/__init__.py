@@ -21,6 +21,7 @@ E12   Theorem 3 (§7)         :mod:`repro.experiments.minmax_cost`
 E13   substrate independence :mod:`repro.experiments.substrates`
 E14   churn resilience       :mod:`repro.experiments.churn_study`
 E15   storage load balance   :mod:`repro.experiments.load_balance`
+E23   leaf-cache skew sweep  :mod:`repro.experiments.cached_lookup`
 ====  =====================  ==========================================
 """
 

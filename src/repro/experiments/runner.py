@@ -20,6 +20,7 @@ from typing import Callable
 from repro.experiments import (
     ablation_lookup,
     availability,
+    cached_lookup,
     churn_study,
     churn_workload,
     eq3_saving,
@@ -53,6 +54,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str, int], list[ExperimentResult]]]]
     "workload": ("E20: maintenance under mixed workload", churn_workload.run),
     "hotspots": ("E21: query-traffic hot spots", hotspots.run),
     "availability": ("E22: availability vs retry budget", availability.run),
+    "cached": ("E23: leaf-cache benefit vs workload skew", cached_lookup.run),
 }
 
 

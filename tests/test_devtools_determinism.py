@@ -28,6 +28,31 @@ class TestSameSeedFixture:
     def test_chord_substrate_is_deterministic(self, assert_deterministic):
         assert_deterministic(seed=3, substrate="chord", n_ops=200, n_peers=12)
 
+    def test_cached_local_substrate_is_deterministic(
+        self, assert_deterministic
+    ):
+        """The leaf cache (LRU state, validation probes, invalidation)
+        must replay identically from the root seed."""
+        report = assert_deterministic(
+            seed=3, substrate="cached-local", n_ops=200
+        )
+        assert len(set(report.digests)) == 1
+
+    def test_cached_local_agrees_with_local_on_answers(self):
+        """Same seed, cache on vs off: every trace line must agree on
+        everything except cost (hits are cheaper, staleness dearer)."""
+        plain = run_workload(seed=4, substrate="local", n_ops=150)
+        cached = run_workload(seed=4, substrate="cached-local", n_ops=150)
+        assert len(plain) == len(cached)
+
+        def strip_cost(line: str) -> str:
+            return " ".join(
+                f for f in line.split() if not f.startswith("cost=")
+            )
+
+        for a, b in zip(plain, cached):
+            assert strip_cost(a) == strip_cost(b)
+
     def test_sanitized_run_is_deterministic(
         self, assert_deterministic, monkeypatch
     ):

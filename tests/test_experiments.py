@@ -151,6 +151,7 @@ class TestRunnerCLI:
             "workload",
             "hotspots",
             "availability",
+            "cached",
         }
 
     def test_latency_experiment(self):

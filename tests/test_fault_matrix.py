@@ -52,15 +52,23 @@ N_PROBES = 30
 RANGES = ((0.0, 0.25), (0.3, 0.8), (0.6, 1.0))
 
 
-def _build(substrate: str, drop_rate: float, resilient: bool):
+def _build(substrate: str, drop_rate: float, resilient: bool, cached: bool):
     """Index over [ResilientDHT over] FaultyDHT over the substrate.
 
     Built fault-free (every key is genuinely stored), then the drop rate
-    is switched on for the probe phase.
+    is switched on for the probe phase.  The ``cached`` arm runs the same
+    cell with the leaf cache enabled at a deliberately small capacity:
+    the safety contract must hold whether an answer came from a
+    validated cache hit, a stale-entry fallback, or a cold search.  The
+    cache is warmed fault-free (by the build) *and* probed under faults,
+    so stale-looking validation probes (dropped replies) occur.
     """
     faulty = FaultyDHT(SUBSTRATES[substrate](), seed=7)
     dht = ResilientDHT(faulty, seed=7) if resilient else faulty
-    index = LHTIndex(dht, IndexConfig(theta_split=8))
+    index = LHTIndex(
+        dht,
+        IndexConfig(theta_split=8, cache_enabled=cached, cache_capacity=16),
+    )
     keys = [float(k) for k in np.random.default_rng(7).random(N_KEYS)]
     index.bulk_load(keys)
     faulty.get_drop_rate = drop_rate
@@ -69,16 +77,20 @@ def _build(substrate: str, drop_rate: float, resilient: bool):
 
 @pytest.fixture(
     params=[
-        (name, rate, resilient)
+        (name, rate, resilient, cached)
         for name in sorted(SUBSTRATES)
         for rate in DROP_RATES
         for resilient in (False, True)
+        for cached in (False, True)
     ],
-    ids=lambda p: f"{p[0]}-drop{p[1]}-{'resilient' if p[2] else 'raw'}",
+    ids=lambda p: (
+        f"{p[0]}-drop{p[1]}-{'resilient' if p[2] else 'raw'}"
+        f"-{'cached' if p[3] else 'uncached'}"
+    ),
 )
 def cell(request):
-    substrate, rate, resilient = request.param
-    index, keys = _build(substrate, rate, resilient)
+    substrate, rate, resilient, cached = request.param
+    index, keys = _build(substrate, rate, resilient, cached)
     return index, keys
 
 
@@ -103,6 +115,24 @@ class TestFaultMatrix:
             assert result.status in (MatchStatus.PRESENT, MatchStatus.UNREACHABLE)
             if result.status is MatchStatus.PRESENT:
                 assert result.record is not None and result.record.key == key
+
+    def test_repeated_probes_never_lie(self, cell):
+        """Re-probing the same keys cycles hit/stale/miss cache states
+        under drops; every round must stay truthful (regression guard:
+        a dropped validation reply may cost, but may never flip a
+        verdict or leave a poisoned entry for the next round)."""
+        index, keys = cell
+        stored = set(keys)
+        for _ in range(3):
+            for key in keys[:10]:
+                result = index.exact_match_checked(key)
+                assert result.status in (
+                    MatchStatus.PRESENT,
+                    MatchStatus.UNREACHABLE,
+                )
+                if result.status is MatchStatus.PRESENT:
+                    assert result.record is not None
+                    assert result.record.key == key and key in stored
 
     def test_range_query_raises_or_is_exact(self, cell):
         index, keys = cell

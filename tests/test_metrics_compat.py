@@ -1,0 +1,130 @@
+"""Snapshot compatibility: counters accrete, old snapshots keep working.
+
+The recorder has grown counters over the project's life (substrate →
+resilience → cache).  Experiments and checked-in benchmark baselines
+hold snapshots taken *before* a counter existed, so every piece of
+snapshot arithmetic must read a missing counter as 0 instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import pytest
+
+from repro.dht.metrics import MetricsRecorder, MetricsSnapshot
+
+
+class _LegacySnapshot:
+    """Duck-typed stand-in for a snapshot pickled before the cache (and
+    resilience) counters existed: it carries only the original fields."""
+
+    def __init__(self, **counters: int) -> None:
+        self.dht_lookups = counters.get("dht_lookups", 0)
+        self.gets = counters.get("gets", 0)
+        self.puts = counters.get("puts", 0)
+        self.removes = counters.get("removes", 0)
+        self.hops = counters.get("hops", 0)
+
+
+class TestSnapshotArithmetic:
+    def test_subtraction_tolerates_missing_counters(self):
+        recorder = MetricsRecorder()
+        recorder.record_get(hops=2, found=True)
+        recorder.record_cache_hit()
+        now = recorder.snapshot()
+        old = _LegacySnapshot(dht_lookups=0, gets=0)
+        delta = now - old  # legacy operand: missing fields read as 0
+        assert delta.gets == 1
+        assert delta.cache_hits == 1
+        assert delta.hops == 2
+
+    def test_since_accepts_pre_cache_snapshot(self):
+        recorder = MetricsRecorder()
+        baseline = _LegacySnapshot()
+        recorder.record_cache_miss()
+        recorder.record_cache_stale()
+        delta = recorder.since(baseline)
+        assert delta.cache_misses == 1 and delta.cache_stale == 1
+
+    def test_delta_is_an_alias_of_since(self):
+        recorder = MetricsRecorder()
+        snap = recorder.snapshot()
+        recorder.record_get(hops=1, found=False)
+        assert recorder.delta(snap) == recorder.since(snap)
+        assert recorder.delta(snap).failed_gets == 1
+
+    def test_self_subtraction_is_zero(self):
+        recorder = MetricsRecorder()
+        recorder.record_put(hops=3)
+        snap = recorder.snapshot()
+        zero = snap - snap
+        assert all(getattr(zero, f.name) == 0 for f in fields(zero))
+
+
+class TestSnapshotSerialization:
+    def test_round_trip(self):
+        recorder = MetricsRecorder()
+        recorder.record_get(hops=1, found=True)
+        recorder.record_cache_hit()
+        snap = recorder.snapshot()
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_from_dict_defaults_missing_counters_to_zero(self):
+        # A baseline JSON written before the cache counters existed.
+        legacy = {"dht_lookups": 7, "gets": 5, "puts": 2}
+        snap = MetricsSnapshot.from_dict(legacy)
+        assert snap.gets == 5
+        assert snap.cache_hits == 0 and snap.cache_stale == 0
+
+    def test_from_dict_ignores_unknown_counters(self):
+        # A baseline written by a *newer* version with extra counters.
+        data = {"gets": 3, "warp_drive_engaged": 42}
+        snap = MetricsSnapshot.from_dict(data)
+        assert snap.gets == 3
+        assert not hasattr(snap, "warp_drive_engaged")
+
+    def test_from_dict_coerces_to_int(self):
+        snap = MetricsSnapshot.from_dict({"gets": 3.0})
+        assert snap.gets == 3 and isinstance(snap.gets, int)
+
+    def test_to_dict_covers_every_field(self):
+        snap = MetricsRecorder().snapshot()
+        assert set(snap.to_dict()) == {f.name for f in fields(snap)}
+
+
+class TestCacheCounters:
+    def test_cache_counters_recorded_and_reset(self):
+        recorder = MetricsRecorder()
+        recorder.record_cache_hit()
+        recorder.record_cache_hit()
+        recorder.record_cache_miss()
+        recorder.record_cache_stale()
+        snap = recorder.snapshot()
+        assert (snap.cache_hits, snap.cache_misses, snap.cache_stale) == (
+            2,
+            1,
+            1,
+        )
+        recorder.reset()
+        fresh = recorder.snapshot()
+        assert fresh.cache_hits == fresh.cache_misses == fresh.cache_stale == 0
+
+    def test_cache_counters_charge_no_routed_traffic(self):
+        recorder = MetricsRecorder()
+        recorder.record_cache_hit()
+        recorder.record_cache_miss()
+        recorder.record_cache_stale()
+        snap = recorder.snapshot()
+        assert snap.dht_lookups == 0 and snap.gets == 0
+
+    def test_recorder_missing_attribute_reads_zero(self):
+        # An older recorder (no cache slots) must still snapshot cleanly.
+        recorder = MetricsRecorder()
+        object.__delattr__(recorder, "cache_stale")
+        snap = recorder.snapshot()
+        assert snap.cache_stale == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))
