@@ -1,0 +1,48 @@
+"""Bulk-build fast path vs incremental replay (the PR's headline).
+
+Times both construction paths on the same key set and asserts the fast
+path's count contract — one routed put per final leaf, zero records
+moved — plus byte-identical structure (leaf count, record count) with
+the incremental replay of the sorted input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IndexConfig, LHTIndex
+from repro.dht import LocalDHT
+
+from conftest import BENCH_DEPTH, BENCH_THETA
+
+
+def _build(keys: list[float], fast: bool) -> LHTIndex:
+    index = LHTIndex(
+        LocalDHT(64, 0), IndexConfig(theta_split=BENCH_THETA, max_depth=BENCH_DEPTH)
+    )
+    index.bulk_load(keys, fast=fast)
+    return index
+
+
+@pytest.mark.benchmark(group="bulk-build")
+@pytest.mark.parametrize("path", ["incremental", "fast"])
+def test_bulk_build_paths(benchmark, uniform_keys, path):
+    fast = path == "fast"
+    index = benchmark.pedantic(
+        _build, args=(uniform_keys, fast), rounds=3, iterations=1
+    )
+    metrics = index.dht.metrics.snapshot()
+    benchmark.extra_info["leaf_count"] = index.leaf_count
+    benchmark.extra_info["records_moved"] = metrics.records_moved
+    reference = _build(sorted(uniform_keys), fast=False)
+    assert index.record_count == reference.record_count
+    if fast:
+        # One put per final leaf (+1 for the bootstrap root bucket),
+        # nothing moved — the §5 plan contract — and the same partition
+        # as the incremental replay of the sorted input.  The unsorted
+        # incremental arm may differ by a few leaves (order dependence).
+        assert metrics.records_moved == 0
+        assert metrics.puts == index.leaf_count + 1
+        assert index.leaf_count == reference.leaf_count
+    else:
+        assert metrics.records_moved > 0

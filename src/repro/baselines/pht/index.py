@@ -23,6 +23,7 @@ from typing import Any, Iterable
 
 from repro.baselines.pht.node import PHTNode
 from repro.core.bucket import Record
+from repro.core.bulkbuild import normalize_items, plan_bulk_load
 from repro.core.config import IndexConfig
 from repro.core.interval import Range
 from repro.core.keys import key_bits, mu_path
@@ -152,10 +153,25 @@ class PHTIndex:
             self.record_count -= 1
         return removed is not None, lookups
 
-    def bulk_load(self, items: Iterable[float | tuple[float, Any]]) -> int:
+    def bulk_load(
+        self,
+        items: Iterable[float | tuple[float, Any]],
+        fast: bool = False,
+    ) -> int:
         """Insert many records via a client-side leaf mirror (the same
         cost contract as :meth:`LHTIndex.bulk_load`: maintenance is
-        charged in full, per-record routed lookups are elided)."""
+        charged in full, per-record routed lookups are elided).
+
+        With ``fast=True`` the sorted client-side planner
+        (:mod:`repro.core.bulkbuild` — PHT splits at the same interval
+        midpoints as LHT) computes the final trie and ships each final
+        node with one put: demoted internal nodes, then the leaf chain
+        with its in-order ``prev``/``next`` links.  No Ψ_PHT maintenance
+        traffic is charged; state is byte-identical to incrementally
+        loading the sorted input.
+        """
+        if fast:
+            return self._bulk_load_fast(items)
         count = 0
         for item in items:
             key, value = item if isinstance(item, tuple) else (item, None)
@@ -163,6 +179,47 @@ class PHTIndex:
             self._place(node, Record(key, value))
             count += 1
         return count
+
+    def _bulk_load_fast(
+        self, items: Iterable[float | tuple[float, Any]]
+    ) -> int:
+        records = normalize_items(items)
+        if not records:
+            return 0
+        existing: dict[str, list[Record]] = {}
+        for bits in self._leaf_bits:
+            node = self.dht.peek(str(Label(bits)))
+            if not isinstance(node, PHTNode) or not node.is_leaf:
+                raise LookupError_(f"PHT leaf mirror out of sync at #{bits}")
+            existing[bits] = list(node.records)
+        plan = plan_bulk_load(existing, records, self.config)
+        # Leaves the replay split are now internal: record-free nodes
+        # under their own (unchanged) DHT keys, links cleared.
+        for bits in plan.split_bits:
+            label = Label(bits)
+            self.dht.put(str(label), PHTNode(label, is_leaf=False))
+        # The final leaves are prefix-free, so lexicographic order of
+        # their bit strings is the trie's in-order leaf chain.
+        ordered = sorted(plan.leaves)
+        for i, bits in enumerate(ordered):
+            label = Label(bits)
+            prev_label = Label(ordered[i - 1]) if i > 0 else None
+            next_label = Label(ordered[i + 1]) if i + 1 < len(ordered) else None
+            if bits not in plan.changed:
+                old = self.dht.peek(str(label))
+                if (
+                    isinstance(old, PHTNode)
+                    and old.prev_label == prev_label
+                    and old.next_label == next_label
+                ):
+                    continue  # untouched leaf with intact links: no put
+            self.dht.put(
+                str(label),
+                PHTNode(label, True, plan.leaves[bits], prev_label, next_label),
+            )
+        self._leaf_bits = set(plan.leaves)
+        self.record_count += plan.inserted
+        return plan.inserted
 
     # ------------------------------------------------------------------
     # Split (Ψ_PHT = θ·i + 4·j, paper Eq. 2)

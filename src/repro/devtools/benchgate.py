@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 from pathlib import Path
 from typing import Mapping
 
@@ -40,8 +41,10 @@ __all__ = [
     "TOLERANCE",
     "LOOKUP_BASELINE",
     "RANGE_BASELINE",
+    "BUILD_BASELINE",
     "measure_lookup",
     "measure_range",
+    "measure_build",
     "compare",
     "main",
 ]
@@ -52,6 +55,7 @@ TOLERANCE = 0.10
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 LOOKUP_BASELINE = _REPO_ROOT / "BENCH_lookup.json"
 RANGE_BASELINE = _REPO_ROOT / "BENCH_range.json"
+BUILD_BASELINE = _REPO_ROOT / "BENCH_build.json"
 
 #: Fixed workload shape — the baselines are only comparable against the
 #: exact same parameters, so they are recorded alongside the metrics.
@@ -165,6 +169,45 @@ def measure_range(seed: int = 1) -> dict:
     return {"params": dict(_PARAMS), "metrics": metrics}
 
 
+def measure_build(seed: int = 1) -> dict:
+    """Bulk-build counts: incremental replay vs the sorted fast path.
+
+    Gated metrics are the routed put and records-moved counts per key
+    for both paths (all deterministic and lower-is-better); the fast
+    path's put count must equal the final leaf count, so any stray
+    extra put fails the gate.  Wall-clock seconds and the resulting
+    speedup ride along under ``info`` — recorded for visibility, never
+    compared, because they drift with the host.
+    """
+    n = _PARAMS["n_keys"]
+    rng = np.random.default_rng(derive_seed(seed, "bench:keys"))
+    keys = [float(k) for k in rng.random(n)]
+    config = IndexConfig(
+        theta_split=_PARAMS["theta_split"], max_depth=_PARAMS["max_depth"]
+    )
+
+    counts: dict[str, float] = {}
+    info: dict[str, float] = {}
+    for arm, fast in (("incremental", False), ("fast", True)):
+        dht = LocalDHT(n_peers=16, seed=derive_seed(seed, "bench:sub"))
+        index = LHTIndex(dht, config)
+        before = dht.metrics.snapshot()
+        started = time.perf_counter()
+        index.bulk_load(keys, fast=fast)
+        info[f"{arm}_build_s"] = time.perf_counter() - started
+        spent = dht.metrics.snapshot() - before
+        counts[f"{arm}_puts_per_key"] = spent.puts / n
+        counts[f"{arm}_moved_per_key"] = spent.records_moved / n
+        if fast and spent.puts != index.leaf_count:
+            raise ReproError(
+                f"fast bulk-build issued {spent.puts} puts for "
+                f"{index.leaf_count} leaves"
+            )
+    if info["fast_build_s"] > 0:
+        info["speedup"] = info["incremental_build_s"] / info["fast_build_s"]
+    return {"params": dict(_PARAMS), "metrics": counts, "info": info}
+
+
 def compare(
     current: Mapping[str, float],
     baseline: Mapping[str, float],
@@ -226,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
     measurements = {
         LOOKUP_BASELINE: measure_lookup(args.seed),
         RANGE_BASELINE: measure_range(args.seed),
+        BUILD_BASELINE: measure_build(args.seed),
     }
     if args.write:
         for path, current in measurements.items():

@@ -131,6 +131,9 @@ class CANDHT(DHT):
             raise ConfigurationError(f"dims must be >= 1: {dims}")
         self.dims = dims
         self._rng = np.random.default_rng(seed)
+        # Sorted live ids for gateway draws, recomputed lazily after
+        # membership changes (same fix as ChordDHT._ring).
+        self._ids_cache: list[int] | None = None
         self._next_id = 0
         first = CANNode(
             id=self._take_id(),
@@ -188,10 +191,15 @@ class CANDHT(DHT):
             hops += 1
         raise RoutingError(f"CAN routing exceeded {self.MAX_ROUTE_HOPS} hops")
 
+    def _ids(self) -> list[int]:
+        if self._ids_cache is None:
+            self._ids_cache = sorted(self._nodes)
+        return self._ids_cache
+
     def _gateway(self) -> int:
         if not self._nodes:
             raise EmptyOverlayError("no live peers")
-        ids = sorted(self._nodes)
+        ids = self._ids()
         return ids[int(self._rng.integers(0, len(ids)))]
 
     def _route_key(self, key: str) -> tuple[CANNode, int]:
@@ -237,6 +245,7 @@ class CANDHT(DHT):
         owner.zone = keep
         owner.next_split_dim = dim + 1
         self._nodes[joiner.id] = joiner
+        self._ids_cache = None
 
         moved = [
             key
@@ -271,6 +280,7 @@ class CANDHT(DHT):
             other.store.update(node.store)
             self.keys_transferred += len(node.store)
             del self._nodes[node_id]
+            self._ids_cache = None
             self._refresh_neighbors([other.id])
             return True
         return False
@@ -333,7 +343,7 @@ class CANDHT(DHT):
     @property
     def node_ids(self) -> list[int]:
         """Sorted identifiers of all live nodes."""
-        return sorted(self._nodes)
+        return list(self._ids())
 
     def check_partition(self) -> None:
         """Assert zones tile the whole torus exactly once."""

@@ -82,6 +82,10 @@ class ChordDHT(DHT):
         self.successor_list_len = successor_list_len
         self._rng = np.random.default_rng(seed)
         self._nodes: dict[int, ChordNode] = {}
+        # Sorted ring view, recomputed lazily after membership changes.
+        # Routed ops and peer_of draw from it instead of re-sorting all
+        # node ids per operation.
+        self._ring_cache: list[int] | None = None
         self.keys_transferred = 0
         for node_id in self._draw_ids(n_peers):
             self._nodes[node_id] = ChordNode(id=node_id)
@@ -125,6 +129,15 @@ class ChordDHT(DHT):
     def _exact_successor(ordered: list[int], target: int) -> int:
         idx = bisect.bisect_left(ordered, target)
         return ordered[idx % len(ordered)]
+
+    def _ring(self) -> list[int]:
+        """The sorted live-node ids, cached between membership changes."""
+        if self._ring_cache is None:
+            self._ring_cache = sorted(self._nodes)
+        return self._ring_cache
+
+    def _invalidate_ring(self) -> None:
+        self._ring_cache = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -180,7 +193,7 @@ class ChordDHT(DHT):
         """A random live node to originate a routed operation from."""
         if not self._nodes:
             raise EmptyOverlayError("no live peers")
-        ids = sorted(self._nodes)
+        ids = self._ring()
         return ids[int(self._rng.integers(0, len(ids)))]
 
     def _route_key(self, key: str) -> tuple[ChordNode, int]:
@@ -210,11 +223,18 @@ class ChordDHT(DHT):
 
 
     def local_write(self, key: str, value: Any) -> None:
+        # The holding peer is the responsible node in any converged ring,
+        # so check it first (O(log N)); scan only if churn displaced the
+        # key to a peer stale routing once delivered it to.
+        owner = self._nodes[self.peer_of(key)]
+        if key in owner.store:
+            owner.store[key] = value
+            return
         for node in self._nodes.values():
             if key in node.store:
                 node.store[key] = value
                 return
-        self._nodes[self.peer_of(key)].store[key] = value
+        owner.store[key] = value
 
     # ------------------------------------------------------------------
     # Membership protocol
@@ -236,6 +256,7 @@ class ChordDHT(DHT):
         node.successors = ([succ_id] + succ.successors)[: self.successor_list_len]
         node.fingers = [succ_id] * self.id_bits
         self._nodes[node_id] = node
+        self._invalidate_ring()
 
         # Take over keys in (predecessor(succ), node_id].
         pred = succ.predecessor if self._alive(succ.predecessor) else succ_id
@@ -269,9 +290,10 @@ class ChordDHT(DHT):
             raise EmptyOverlayError("cannot remove the last peer")
         if graceful:
             del self._nodes[node_id]  # successor search must skip the leaver
+            self._invalidate_ring()
             succ_id = next((s for s in node.successors if self._alive(s)), None)
             if succ_id is None:
-                succ_id = self._exact_successor(sorted(self._nodes), node_id)
+                succ_id = self._exact_successor(self._ring(), node_id)
             succ = self._nodes[succ_id]
             succ.store.update(node.store)
             self.keys_transferred += len(node.store)
@@ -286,6 +308,7 @@ class ChordDHT(DHT):
         else:
             # Crash: keys stored there are lost until re-published.
             del self._nodes[node_id]
+            self._invalidate_ring()
 
     def fail(self, node_id: int) -> None:
         """Crash a node without key handoff (shorthand for ungraceful leave)."""
@@ -355,6 +378,11 @@ class ChordDHT(DHT):
     # ------------------------------------------------------------------
 
     def peek(self, key: str) -> Any | None:
+        if not self._nodes:
+            return None
+        value = self._nodes[self.peer_of(key)].store.get(key)
+        if value is not None:
+            return value
         for node in self._nodes.values():
             if key in node.store:
                 return node.store[key]
@@ -366,7 +394,7 @@ class ChordDHT(DHT):
 
     def peer_of(self, key: str) -> int:
         kid = hash_key(key, self.id_bits)
-        return self._exact_successor(sorted(self._nodes), kid)
+        return self._exact_successor(self._ring(), kid)
 
     def peer_loads(self) -> dict[int, int]:
         return {nid: len(node.store) for nid, node in self._nodes.items()}
@@ -378,7 +406,7 @@ class ChordDHT(DHT):
     @property
     def node_ids(self) -> list[int]:
         """Sorted identifiers of all live nodes."""
-        return sorted(self._nodes)
+        return list(self._ring())
 
     def check_ring(self) -> None:
         """Assert the successor pointers form a single cycle over all nodes."""

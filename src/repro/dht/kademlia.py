@@ -74,6 +74,9 @@ class KademliaDHT(DHT):
         self._nodes: dict[int, KademliaNode] = {
             nid: KademliaNode(id=nid) for nid in ids
         }
+        # Membership is static, so the sorted gateway list is computed
+        # once instead of per routed operation.
+        self._sorted_ids = sorted(self._nodes)
         self._build_buckets()
 
     # ------------------------------------------------------------------
@@ -139,7 +142,7 @@ class KademliaDHT(DHT):
 
     def _route_key(self, key: str) -> tuple[KademliaNode, int]:
         target = hash_key(key, self.id_bits)
-        ids = sorted(self._nodes)
+        ids = self._sorted_ids
         start = ids[int(self._rng.integers(0, len(ids)))]
         owner, messages = self.iterative_find(start, target)
         return self._nodes[owner], messages
@@ -166,11 +169,17 @@ class KademliaDHT(DHT):
 
 
     def local_write(self, key: str, value: Any) -> None:
+        # Static overlay: the XOR-closest node always holds the key, so
+        # the O(N) peer scan only runs if a test seeded state elsewhere.
+        owner = self._nodes[self.peer_of(key)]
+        if key in owner.store:
+            owner.store[key] = value
+            return
         for node in self._nodes.values():
             if key in node.store:
                 node.store[key] = value
                 return
-        self._nodes[self.peer_of(key)].store[key] = value
+        owner.store[key] = value
 
     # ------------------------------------------------------------------
     # Introspection

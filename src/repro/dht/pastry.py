@@ -66,6 +66,9 @@ class PastryDHT(DHT):
         while len(ids) < n_peers:
             ids.add(int(self._rng.integers(0, 1 << id_bits)))
         self._nodes: dict[int, PastryNode] = {nid: PastryNode(id=nid) for nid in ids}
+        # Membership is static, so the sorted gateway list is computed
+        # once instead of per routed operation.
+        self._sorted_ids = sorted(self._nodes)
         self._build_tables()
 
     # ------------------------------------------------------------------
@@ -162,7 +165,7 @@ class PastryDHT(DHT):
 
     def _route_key(self, key: str) -> tuple[PastryNode, int]:
         key_id = hash_key(key, self.id_bits)
-        ids = sorted(self._nodes)
+        ids = self._sorted_ids
         start = ids[int(self._rng.integers(0, len(ids)))]
         owner, hops = self.route(start, key_id)
         return self._nodes[owner], max(hops, 1)
@@ -189,11 +192,18 @@ class PastryDHT(DHT):
 
 
     def local_write(self, key: str, value: Any) -> None:
+        # Static overlay: routing delivers to the numerically closest
+        # node, so the responsible peer holds the key; scan only as a
+        # fallback for externally seeded state.
+        owner = self._nodes[self.peer_of(key)]
+        if key in owner.store:
+            owner.store[key] = value
+            return
         for node in self._nodes.values():
             if key in node.store:
                 node.store[key] = value
                 return
-        self._nodes[self.peer_of(key)].store[key] = value
+        owner.store[key] = value
 
     # ------------------------------------------------------------------
     # Introspection

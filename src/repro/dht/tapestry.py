@@ -71,6 +71,9 @@ class TapestryDHT(DHT):
         self._nodes: dict[int, TapestryNode] = {
             nid: TapestryNode(id=nid) for nid in ids
         }
+        # Membership is static, so the sorted gateway/surrogate list is
+        # computed once instead of per routed operation.
+        self._sorted_ids = sorted(self._nodes)
         self._build_tables()
 
     # ------------------------------------------------------------------
@@ -113,7 +116,7 @@ class TapestryDHT(DHT):
         each level take the smallest present digit ≥ the key's digit
         (wrapping to 0), among nodes matching the prefix chosen so far.
         """
-        candidates = sorted(self._nodes)
+        candidates = list(self._sorted_ids)
         prefix_choice: list[int] = []
         for level in range(self.n_digits):
             present = sorted(
@@ -161,7 +164,7 @@ class TapestryDHT(DHT):
 
     def _route_key(self, key: str) -> tuple[TapestryNode, int]:
         key_id = hash_key(key, self.id_bits)
-        ids = sorted(self._nodes)
+        ids = self._sorted_ids
         start = ids[int(self._rng.integers(0, len(ids)))]
         owner, hops = self.route(start, key_id)
         return self._nodes[owner], max(hops, 1)
@@ -187,6 +190,9 @@ class TapestryDHT(DHT):
         return node.store.pop(key, None)
 
     def local_write(self, key: str, value: Any) -> None:
+        # Audit note (cf. ChordDHT.local_write): surrogate resolution is
+        # O(digits · N) here — *more* than the O(N) holder scan — so the
+        # scan-first order is kept deliberately.
         for node in self._nodes.values():
             if key in node.store:
                 node.store[key] = value

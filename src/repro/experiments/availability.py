@@ -31,7 +31,13 @@ from repro.core.results import MatchStatus
 from repro.dht.faulty import FaultyDHT
 from repro.dht.local import LocalDHT
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    count_build_time,
+    count_query_time,
+    trial_rng,
+)
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.wrapper import ResilientDHT
 from repro.sim.rng import derive_seed
@@ -68,7 +74,8 @@ def _run_cell(
     )
     index = LHTIndex(dht, IndexConfig(theta_split=_THETA))
     keys = make_keys("uniform", params["size"], rng)
-    index.bulk_load(float(k) for k in keys)
+    with count_build_time():
+        index.bulk_load((float(k) for k in keys), fast=True)
 
     # Faults start only once the index is built: every probed key is
     # genuinely stored, so any non-PRESENT outcome is a failure.
@@ -76,10 +83,11 @@ def _run_cell(
     sample = rng.choice(keys, size=min(params["probes"], len(keys)), replace=False)
     before = dht.metrics.snapshot()
     hits = 0
-    for key in sample:
-        result = index.exact_match_checked(float(key))
-        if result.status is MatchStatus.PRESENT:
-            hits += 1
+    with count_query_time():
+        for key in sample:
+            result = index.exact_match_checked(float(key))
+            if result.status is MatchStatus.PRESENT:
+                hits += 1
     spent = dht.metrics.snapshot() - before
     return hits / len(sample), spent.gets / len(sample)
 

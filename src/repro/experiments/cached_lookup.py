@@ -32,7 +32,13 @@ from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
 from repro.dht.local import LocalDHT
 from repro.errors import ConfigurationError, ReproError
-from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    count_build_time,
+    count_query_time,
+    trial_rng,
+)
 from repro.sim.rng import derive_seed
 from repro.workloads.datasets import make_keys
 
@@ -89,19 +95,21 @@ def _arm(
     )
     index = LHTIndex(dht, config)
     keys = make_keys("uniform", params["size"], rng)
-    index.bulk_load(float(k) for k in keys)
+    with count_build_time():
+        index.bulk_load((float(k) for k in keys), fast=True)
     if index.cache is not None:
         # Measure steady-state reads, not build-time residue.
         index.cache.clear()
 
     probes = _zipf_probes(keys, skew, params["probes"], rng)
     before = dht.metrics.snapshot()
-    for key in probes:
-        record, _ = index.exact_match(float(key))
-        if record is None:
-            raise ReproError(
-                f"stored key {key!r} reported absent (cache bug)"
-            )
+    with count_query_time():
+        for key in probes:
+            record, _ = index.exact_match(float(key))
+            if record is None:
+                raise ReproError(
+                    f"stored key {key!r} reported absent (cache bug)"
+                )
     spent = dht.metrics.snapshot() - before
     n = len(probes)
     rates = {

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import json
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -30,6 +32,10 @@ __all__ = [
     "make_dht",
     "build_index",
     "trial_rng",
+    "count_build_time",
+    "count_query_time",
+    "reset_wall_clock",
+    "wall_clock_totals",
 ]
 
 #: Substrate factories selectable from the CLI.
@@ -59,20 +65,73 @@ def trial_rng(seed: int, experiment: str, trial: int) -> np.random.Generator:
     return np.random.default_rng(derive_seed(seed, f"{experiment}:{trial}"))
 
 
+# ----------------------------------------------------------------------
+# Wall-clock accounting (experiments only — the deterministic core is
+# wall-clock-free by lint rule LHT001).  Every figure's numbers stay
+# count-based; these totals ride along in ExperimentResult.timings so
+# the bulk-build / parallel-runner speedups are visible in every run
+# without ever entering a benchgate comparison.
+# ----------------------------------------------------------------------
+
+_WALL_TOTALS = {"build_s": 0.0, "query_s": 0.0}
+
+
+def reset_wall_clock() -> None:
+    """Zero the per-experiment build/query wall-clock accumulators."""
+    for phase in _WALL_TOTALS:
+        _WALL_TOTALS[phase] = 0.0
+
+
+def wall_clock_totals() -> dict[str, float]:
+    """A copy of the accumulated wall-clock totals, in seconds."""
+    return dict(_WALL_TOTALS)
+
+
+@contextmanager
+def _count_wall(phase: str) -> Iterator[None]:
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        _WALL_TOTALS[phase] += time.perf_counter() - started
+
+
+@contextmanager
+def count_build_time() -> Iterator[None]:
+    """Charge the enclosed block to the experiment's ``build_s`` total."""
+    with _count_wall("build_s"):
+        yield
+
+
+@contextmanager
+def count_query_time() -> Iterator[None]:
+    """Charge the enclosed block to the experiment's ``query_s`` total."""
+    with _count_wall("query_s"):
+        yield
+
+
 def build_index(
     scheme: str,
     dht: DHT,
     config: IndexConfig,
     keys: np.ndarray,
+    fast: bool = True,
 ) -> LHTIndex | PHTIndex:
-    """Bulk-build an LHT or PHT index from a key array."""
+    """Bulk-build an LHT or PHT index from a key array.
+
+    Defaults to the sorted fast path (one put per final leaf) because
+    most experiments only need the built *structure*.  Experiments that
+    measure construction costs from the maintenance ledger (Figs. 6-7,
+    Eq. 3) must pass ``fast=False`` to replay the incremental algorithm.
+    """
     if scheme == "lht":
         index: LHTIndex | PHTIndex = LHTIndex(dht, config)
     elif scheme == "pht":
         index = PHTIndex(dht, config)
     else:
         raise ConfigurationError(f"unknown scheme {scheme!r}")
-    index.bulk_load(float(k) for k in keys)
+    with count_build_time():
+        index.bulk_load((float(k) for k in keys), fast=fast)
     return index
 
 
@@ -107,6 +166,11 @@ class ExperimentResult:
     params: dict
     series: list[Series]
     notes: str = ""
+    #: Wall-clock seconds (``build_s``, ``query_s``, ``wall_s``), stamped
+    #: by the runner from the accumulators above.  Informational only:
+    #: host-dependent, never part of any count-based comparison, and
+    #: stripped by :meth:`canonical_json` for byte-identity checks.
+    timings: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Rendering
@@ -143,6 +207,12 @@ class ExperimentResult:
             lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
         if self.notes:
             lines.append(f"  note: {self.notes}")
+        if self.timings:
+            cells = ", ".join(
+                f"{name}={seconds:.2f}s"
+                for name, seconds in sorted(self.timings.items())
+            )
+            lines.append(f"  wall: {cells}")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -158,7 +228,19 @@ class ExperimentResult:
                 for s in self.series
             ],
             "notes": self.notes,
+            "timings": dict(self.timings),
         }
+
+    def canonical_json(self) -> dict:
+        """The result dict without host-dependent wall-clock timings.
+
+        This is the byte-comparable view: two runs of the same seed must
+        agree on it exactly (the ``--jobs`` determinism test compares
+        it), while ``timings`` legitimately varies run to run.
+        """
+        data = self.to_json()
+        data.pop("timings", None)
+        return data
 
     def save(self, directory: str | Path) -> Path:
         """Write the result JSON into ``directory``; returns the path."""

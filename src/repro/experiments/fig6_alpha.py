@@ -18,7 +18,12 @@ from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
 from repro.dht.local import LocalDHT
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    count_build_time,
+    trial_rng,
+)
 from repro.workloads.datasets import make_keys
 
 __all__ = ["run", "run_fig6a", "run_fig6b", "expected_alpha"]
@@ -61,7 +66,10 @@ def _alpha_growth_curve(
         )
         start = 0
         for ci, size in enumerate(checkpoints):
-            index.bulk_load(float(k) for k in keys[start:size])
+            # ᾱ comes from the split ledger, so the build must stay on
+            # the incremental path (the fast path never splits).
+            with count_build_time():
+                index.bulk_load(float(k) for k in keys[start:size])
             start = size
             per_checkpoint[ci].append(index.ledger.average_alpha)
     means = [aggregate(vals).mean for vals in per_checkpoint]
@@ -124,7 +132,8 @@ def run_fig6b(scale: str = "ci", seed: int = 0) -> ExperimentResult:
                     LocalDHT(n_peers=64, seed=trial),
                     IndexConfig(theta_split=theta, max_depth=24),
                 )
-                index.bulk_load(float(k) for k in keys)
+                with count_build_time():
+                    index.bulk_load(float(k) for k in keys)
                 samples.append(index.ledger.average_alpha)
             agg = aggregate(samples)
             means.append(agg.mean)

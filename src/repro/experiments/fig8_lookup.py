@@ -22,6 +22,7 @@ from repro.experiments.common import (
     ExperimentResult,
     Series,
     build_index,
+    count_query_time,
     trial_rng,
 )
 from repro.workloads.datasets import make_keys
@@ -65,8 +66,9 @@ def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
                     index = build_index(scheme, dht, config, keys)
                     probes = lookup_keys(params["n_lookups"], rng)
                     total = 0
-                    for probe in probes:
-                        total += index.lookup(float(probe)).dht_lookups
+                    with count_query_time():
+                        for probe in probes:
+                            total += index.lookup(float(probe)).dht_lookups
                     samples.append(total / len(probes))
                 agg = aggregate(samples)
                 means.append(agg.mean)

@@ -17,7 +17,13 @@ from repro.core.index import LHTIndex
 from repro.dht.accesslog import AccessLoggingDHT
 from repro.dht.local import LocalDHT
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    count_build_time,
+    count_query_time,
+    trial_rng,
+)
 from repro.workloads.datasets import make_keys
 from repro.workloads.queries import lookup_keys, span_ranges
 
@@ -40,16 +46,21 @@ def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
     rng = trial_rng(seed, "hotspots", 0)
     dht = AccessLoggingDHT(LocalDHT(params["n_peers"], seed))
     index = LHTIndex(dht, IndexConfig(theta_split=_THETA, max_depth=20))
-    index.bulk_load(float(k) for k in make_keys("uniform", params["size"], rng))
+    with count_build_time():
+        index.bulk_load(
+            (float(k) for k in make_keys("uniform", params["size"], rng)),
+            fast=True,
+        )
     dht.reset_log()  # measure query traffic only
 
-    for probe in lookup_keys(params["n_lookups"], rng):
-        index.lookup(float(probe))
-    for query in span_ranges(params["n_ranges"], 0.05, rng):
-        index.range_query(query.lo, query.hi)
-    for _ in range(50):
-        index.min_query()
-        index.max_query()
+    with count_query_time():
+        for probe in lookup_keys(params["n_lookups"], rng):
+            index.lookup(float(probe))
+        for query in span_ranges(params["n_ranges"], 0.05, rng):
+            index.range_query(query.lo, query.hi)
+        for _ in range(50):
+            index.min_query()
+            index.max_query()
 
     peer_counts = list(dht.peer_accesses().values())
     # pad with silent peers so the Gini covers the whole overlay

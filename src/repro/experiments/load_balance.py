@@ -18,7 +18,12 @@ from repro.core.index import LHTIndex
 from repro.core.stats import IndexInspector
 from repro.dht.local import LocalDHT
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentResult, Series, trial_rng
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    count_build_time,
+    trial_rng,
+)
 from repro.workloads.datasets import make_keys
 
 __all__ = ["run"]
@@ -60,7 +65,8 @@ def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
 
         dht = LocalDHT(n_peers=params["n_peers"], seed=seed)
         index = LHTIndex(dht, config)
-        index.bulk_load(float(k) for k in keys)
+        with count_build_time():
+            index.bulk_load((float(k) for k in keys), fast=True)
         gini["lht"].append(gini_coefficient(_record_loads_lht(dht)))
 
         raw_dht = LocalDHT(n_peers=params["n_peers"], seed=seed)

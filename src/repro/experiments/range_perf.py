@@ -31,6 +31,7 @@ from repro.experiments.common import (
     ExperimentResult,
     Series,
     build_index,
+    count_query_time,
     trial_rng,
 )
 from repro.workloads.datasets import make_keys
@@ -90,10 +91,11 @@ def _measure_point(
         }
         for algo, runner in runners.items():
             bw = lat = 0.0
-            for query in queries:
-                result = runner(query)
-                bw += result.dht_lookups
-                lat += result.parallel_steps
+            with count_query_time():
+                for query in queries:
+                    result = runner(query)
+                    bw += result.dht_lookups
+                    lat += result.parallel_steps
             samples[algo][0].append(bw / n_queries)
             samples[algo][1].append(lat / n_queries)
     out: dict[str, tuple[float, float, float, float]] = {}

@@ -4,15 +4,24 @@ Usage (installed as ``lht-experiments``)::
 
     lht-experiments --list
     lht-experiments fig6 fig7 --scale ci --out results/
-    lht-experiments all --scale paper --seed 1
+    lht-experiments all --scale paper --seed 1 --jobs 4
 
 Each experiment prints a text table mirroring the paper's plot and, with
 ``--out``, writes machine-readable JSON per experiment ID.
+
+``--jobs N`` fans the experiment *cells* (one per experiment name) out
+across ``N`` worker processes.  This is safe because every cell derives
+all of its randomness from ``(root seed, experiment name, trial)`` via
+``repro.sim.rng.derive_seed`` — process placement cannot leak into any
+number — and the parent merges results in submission order, so the
+output is byte-identical to ``--jobs 1`` apart from the wall-clock
+``timings``/"finished in" annotations.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 import sys
 import time
 from typing import Callable
@@ -34,7 +43,9 @@ from repro.experiments import (
     range_perf,
     substrates,
 )
+from repro.experiments import common
 from repro.experiments.common import ExperimentResult
+from repro.errors import ConfigurationError
 
 __all__ = ["main", "EXPERIMENTS", "run_experiments"]
 
@@ -58,25 +69,78 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str, int], list[ExperimentResult]]]]
 }
 
 
+def _run_cell(
+    cell: tuple[str, str, int]
+) -> tuple[str, list[ExperimentResult], float]:
+    """Run one experiment cell — the worker-process entry point.
+
+    Each cell is hermetic: its randomness comes entirely from
+    ``derive_seed(seed, "<experiment>:<trial>")`` inside the experiment
+    module, so the same cell computes the same results in any process.
+    Wall-clock totals accumulated in :mod:`repro.experiments.common`
+    are stamped onto each result before it crosses back to the parent.
+    """
+    name, scale, seed = cell
+    _, runner = EXPERIMENTS[name]
+    common.reset_wall_clock()
+    started = time.perf_counter()
+    batch = runner(scale, seed)
+    elapsed = time.perf_counter() - started
+    wall = common.wall_clock_totals()
+    for result in batch:
+        result.timings.update(wall)
+        result.timings["wall_s"] = elapsed
+    return name, batch, elapsed
+
+
+def _emit(
+    name: str,
+    batch: list[ExperimentResult],
+    elapsed: float,
+    out: str | None,
+) -> None:
+    for result in batch:
+        print(result.to_table())
+        print()
+        if out is not None:
+            path = result.save(out)
+            print(f"  saved: {path}")
+    print(f"  [{name} finished in {elapsed:.1f}s]\n", flush=True)
+
+
 def run_experiments(
-    names: list[str], scale: str = "ci", seed: int = 0, out: str | None = None
+    names: list[str],
+    scale: str = "ci",
+    seed: int = 0,
+    out: str | None = None,
+    jobs: int = 1,
 ) -> list[ExperimentResult]:
-    """Run the named experiments and return all results."""
+    """Run the named experiments and return all results.
+
+    With ``jobs > 1`` the cells execute in a ``spawn`` process pool and
+    the parent prints/saves them in submission order as each becomes
+    available, so stdout and the saved JSON match a serial run exactly
+    (modulo wall-clock timings).
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1: {jobs}")
+    cells = [(name, scale, seed) for name in names]
     results: list[ExperimentResult] = []
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        started = time.perf_counter()
-        print(f"== {name}: {description} (scale={scale})", flush=True)
-        batch = runner(scale, seed)
-        elapsed = time.perf_counter() - started
-        for result in batch:
-            print(result.to_table())
-            print()
-            if out is not None:
-                path = result.save(out)
-                print(f"  saved: {path}")
-        print(f"  [{name} finished in {elapsed:.1f}s]\n", flush=True)
-        results.extend(batch)
+    if jobs == 1:
+        for name, _, _ in cells:
+            description, _runner = EXPERIMENTS[name]
+            print(f"== {name}: {description} (scale={scale})", flush=True)
+            _, batch, elapsed = _run_cell((name, scale, seed))
+            _emit(name, batch, elapsed, out)
+            results.extend(batch)
+        return results
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(cells))) as pool:
+        for name, batch, elapsed in pool.imap(_run_cell, cells):
+            description, _runner = EXPERIMENTS[name]
+            print(f"== {name}: {description} (scale={scale})", flush=True)
+            _emit(name, batch, elapsed, out)
+            results.extend(batch)
     return results
 
 
@@ -110,6 +174,13 @@ def _main(argv: list[str] | None = None) -> int:
         "--out", default=None, help="directory for per-experiment JSON output"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiment cells in N parallel processes; results merge "
+        "in submission order, byte-identical to --jobs 1",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
@@ -124,7 +195,9 @@ def _main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
-    run_experiments(names, scale=args.scale, seed=args.seed, out=args.out)
+    run_experiments(
+        names, scale=args.scale, seed=args.seed, out=args.out, jobs=args.jobs
+    )
     return 0
 
 

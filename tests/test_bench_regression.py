@@ -3,7 +3,7 @@
 The ``bench``-marked tests re-measure the count-based workload of
 :mod:`repro.devtools.benchgate` and fail when any metric regresses more
 than 10% over its checked-in baseline (``BENCH_lookup.json`` /
-``BENCH_range.json``).  They are excluded from the default (tier-1) run
+``BENCH_range.json`` / ``BENCH_build.json``).  They are excluded from the default (tier-1) run
 by the ``-m "not bench"`` addopts and executed by the CI smoke step::
 
     PYTHONPATH=src python -m pytest tests/test_bench_regression.py -m bench
@@ -63,6 +63,28 @@ class TestBenchGate:
             < metrics["uncached_gets_per_probe"]
         )
 
+    def test_build_counts_within_tolerance(self):
+        current = benchgate.measure_build()
+        baseline = _load(_ROOT / "BENCH_build.json")
+        assert current["params"] == baseline["params"], (
+            "workload parameters changed — refresh baselines with "
+            "python -m repro.devtools.benchgate --write"
+        )
+        violations = benchgate.compare(
+            current["metrics"], baseline["metrics"]
+        )
+        assert not violations, "\n".join(violations)
+
+    def test_fast_build_moves_nothing_and_puts_once_per_leaf(self):
+        """The tentpole claim, pinned: the sorted fast path ships each
+        final leaf with exactly one put (measure_build raises if the
+        put count diverges from the leaf count) and never moves a
+        record, while the incremental replay pays Theorem 2's ~0.75
+        moves per key at θ=100."""
+        metrics = benchgate.measure_build()["metrics"]
+        assert metrics["fast_moved_per_key"] == 0.0
+        assert metrics["incremental_moved_per_key"] > 0.5
+
     def test_range_respects_paper_bound_with_batching(self):
         """Batching must not change the §6.3 accounting: the per-query
         slack over B stays within the paper's +3, and rounds never
@@ -107,3 +129,14 @@ class TestCompareLogic:
             assert all(
                 isinstance(v, (int, float)) for v in data["metrics"].values()
             )
+
+    def test_build_baseline_parses_with_ungated_info(self):
+        """BENCH_build.json carries an extra ``info`` section (wall-clock
+        seconds and speedup) that must never enter the gated metrics."""
+        data = _load(_ROOT / "BENCH_build.json")
+        assert set(data) == {"params", "metrics", "info"}
+        assert data["metrics"], "BENCH_build.json has no metrics"
+        assert all(
+            isinstance(v, (int, float)) for v in data["metrics"].values()
+        )
+        assert not set(data["info"]) & set(data["metrics"])
