@@ -35,6 +35,7 @@ from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
 from repro.dht.local import LocalDHT
 from repro.errors import ReproError
+from repro.experiments.common import SUBSTRATES, make_dht
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "measure_lookup",
     "measure_range",
     "measure_build",
+    "measure_substrate_hops",
     "compare",
     "main",
 ]
@@ -70,6 +72,8 @@ _PARAMS = {
     "probe_skew": 1.1,
     "cache_small_capacity": 16,
     "cache_ample_capacity": 4096,
+    "hops_n_peers": 32,
+    "hops_n_ops": 64,
 }
 
 
@@ -140,7 +144,32 @@ def measure_lookup(seed: int = 1) -> dict:
     metrics["records_moved_per_insert"] = (
         spent.records_moved / _PARAMS["n_inserts"]
     )
+    metrics.update(measure_substrate_hops(seed))
     return {"params": dict(_PARAMS), "metrics": metrics}
+
+
+def measure_substrate_hops(seed: int = 1) -> dict[str, float]:
+    """Routed hops per operation, per substrate (kernel-charged).
+
+    The index-level gates above run over :class:`LocalDHT`'s synthetic
+    hop model; this measures the *physical* routing cost of every real
+    substrate on one fixed put+get workload, so a topology change that
+    silently lengthens routes fails the gate like any other count.
+    """
+    n_ops = _PARAMS["hops_n_ops"]
+    metrics: dict[str, float] = {}
+    for name in sorted(SUBSTRATES):
+        dht = make_dht(
+            name, _PARAMS["hops_n_peers"], derive_seed(seed, "bench:hops")
+        )
+        before = dht.metrics.snapshot()
+        for i in range(n_ops):
+            dht.put(f"hop-key-{i}", i)
+        for i in range(n_ops):
+            dht.get(f"hop-key-{i}")
+        spent = dht.metrics.snapshot() - before
+        metrics[f"hops_per_op_{name}"] = spent.hops / (2 * n_ops)
+    return metrics
 
 
 def measure_range(seed: int = 1) -> dict:

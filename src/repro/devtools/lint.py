@@ -22,6 +22,10 @@ LHT003    No bare ``assert`` in library code — ``python -O`` strips
 LHT004    No mutable default arguments.
 LHT005    Every concrete class deriving from :class:`repro.dht.base.DHT`
           implements the full abstract interface.
+LHT006    Concrete substrates built on
+          :class:`repro.dht.kernel.SubstrateBase` do not override the
+          kernel-owned storage methods (``put``, ``get``, ``remove``,
+          ``peek``, ``local_write``, ``peer_loads``).
 ========  ==============================================================
 
 Violations can be suppressed per line with ``# noqa`` or
@@ -41,7 +45,14 @@ from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["LINT_RULES", "Violation", "lint_paths", "lint_source", "main"]
+__all__ = [
+    "KERNEL_OWNED_METHODS",
+    "LINT_RULES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
 
 #: Rule code -> one-line description (the user-facing catalogue).
 LINT_RULES: dict[str, str] = {
@@ -50,7 +61,14 @@ LINT_RULES: dict[str, str] = {
     "LHT003": "bare assert in library code",
     "LHT004": "mutable default argument",
     "LHT005": "DHT substrate does not implement the full base interface",
+    "LHT006": "substrate overrides a kernel-owned storage method",
 }
+
+#: Methods the peer-store kernel owns; substrates must not re-grow them
+#: (LHT006) — storage and metrics charging live in exactly one place.
+KERNEL_OWNED_METHODS = frozenset(
+    {"put", "get", "remove", "peek", "local_write", "peer_loads"}
+)
 
 #: Top-level packages whose modules must be hermetic (LHT001/LHT002).
 DETERMINISTIC_PACKAGES = frozenset({"sim", "dht", "core", "resilience"})
@@ -434,6 +452,66 @@ def _check_substrates(
     return violations
 
 
+def _check_kernel_overrides(
+    parsed: list[tuple[Path, ast.Module]]
+) -> list[Violation]:
+    """Concrete substrates must not override kernel-owned methods (LHT006).
+
+    A class whose base chain reaches ``SubstrateBase`` gets storage,
+    oracle reads, and metrics charging from the kernel; re-defining any
+    of :data:`KERNEL_OWNED_METHODS` would fork the accounting the
+    equivalence goldens pin.  ``SubstrateBase`` itself (the kernel) is
+    exempt, as are wrappers — their base chain goes through
+    ``DelegatingDHT``, never ``SubstrateBase``.
+    """
+    registry: dict[str, _ClassInfo] = {}
+    dht_classes: list[_ClassInfo] = []
+    for path, tree in parsed:
+        for info in _collect_classes(tree, path):
+            registry.setdefault(info.name, info)
+            if _in_dht_package(path):
+                dht_classes.append(info)
+    if "SubstrateBase" not in registry:
+        return []  # kernel not in the lint set; rule not applicable
+
+    violations: list[Violation] = []
+    for info in dht_classes:
+        if info.name == "SubstrateBase":
+            continue
+        seen: set[str] = set()
+        stack = list(info.bases)
+        reaches_kernel = False
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == "SubstrateBase":
+                reaches_kernel = True
+                break
+            cls = registry.get(name)
+            if cls is not None:
+                stack.extend(cls.bases)
+        if not reaches_kernel:
+            continue
+        overridden = sorted(info.methods & KERNEL_OWNED_METHODS)
+        if overridden:
+            violations.append(
+                Violation(
+                    path=str(info.path),
+                    line=info.line,
+                    col=1,
+                    code="LHT006",
+                    message=(
+                        f"substrate {info.name} overrides kernel-owned "
+                        f"method(s): {', '.join(overridden)} — storage and "
+                        "metrics charging belong to SubstrateBase"
+                    ),
+                )
+            )
+    return violations
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -538,6 +616,7 @@ def lint_paths(
         except SyntaxError:
             pass  # already reported as E999 above
     violations.extend(_check_substrates(parsed))
+    violations.extend(_check_kernel_overrides(parsed))
 
     if select:
         chosen = {code.upper() for code in select}

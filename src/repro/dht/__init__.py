@@ -12,6 +12,7 @@ from repro.dht.faulty import FaultyDHT
 from repro.dht.churn import ChurnConfig, ChurnDriver
 from repro.dht.hashing import ID_BITS, ID_SPACE, hash_key, ring_distance
 from repro.dht.kademlia import KademliaDHT, KademliaNode
+from repro.dht.kernel import DelegatingDHT, PeerStore, SubstrateBase
 from repro.dht.local import LocalDHT
 from repro.dht.metrics import MetricsRecorder, MetricsSnapshot
 from repro.dht.pastry import PastryDHT, PastryNode
@@ -36,6 +37,9 @@ __all__ = [
     "ring_distance",
     "KademliaDHT",
     "KademliaNode",
+    "DelegatingDHT",
+    "PeerStore",
+    "SubstrateBase",
     "LocalDHT",
     "MetricsRecorder",
     "MetricsSnapshot",

@@ -10,19 +10,19 @@ the responsible peer), feeding the hot-spot experiment (E21).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable
+from typing import Any
 
 from repro.dht.base import DHT
+from repro.dht.kernel import DelegatingDHT
 
 __all__ = ["AccessLoggingDHT"]
 
 
-class AccessLoggingDHT(DHT):
+class AccessLoggingDHT(DelegatingDHT):
     """Wrap a substrate, counting routed operations per key."""
 
     def __init__(self, inner: DHT) -> None:
-        super().__init__(inner.metrics)
-        self.inner = inner
+        super().__init__(inner)
         self.key_accesses: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
@@ -40,9 +40,6 @@ class AccessLoggingDHT(DHT):
     def remove(self, key: str) -> Any | None:
         self.key_accesses[key] += 1
         return self.inner.remove(key)
-
-    def local_write(self, key: str, value: Any) -> None:
-        self.inner.local_write(key, value)
 
     # ------------------------------------------------------------------
     # Analysis
@@ -63,23 +60,3 @@ class AccessLoggingDHT(DHT):
     def reset_log(self) -> None:
         """Clear the access counters (e.g. after the build phase)."""
         self.key_accesses.clear()
-
-    # ------------------------------------------------------------------
-    # Introspection (delegated)
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        return self.inner.peek(key)
-
-    def keys(self) -> Iterable[str]:
-        return self.inner.keys()
-
-    def peer_of(self, key: str) -> int:
-        return self.inner.peer_of(key)
-
-    def peer_loads(self) -> dict[int, int]:
-        return self.inner.peer_loads()
-
-    @property
-    def n_peers(self) -> int:
-        return self.inner.n_peers

@@ -6,14 +6,27 @@ unchanged.  Every routed operation counts as exactly one *DHT-lookup* —
 the paper's bandwidth unit — and substrates additionally report how many
 physical overlay hops the routing took.
 
-Substrates in this package:
+Substrates in this package (all built on the shared peer-store kernel,
+:mod:`repro.dht.kernel`):
 
 * :class:`~repro.dht.local.LocalDHT` — hash-partitioned in-memory store
   with a synthetic ``O(log N)`` hop model; the fast backend for large
   experiments.
 * :class:`~repro.dht.chord.ChordDHT` — full Chord ring.
+* :class:`~repro.dht.can.CANDHT` — CAN ``d``-torus with zone splits.
 * :class:`~repro.dht.kademlia.KademliaDHT` — Kademlia XOR routing.
 * :class:`~repro.dht.pastry.PastryDHT` — Pastry prefix routing.
+* :class:`~repro.dht.tapestry.TapestryDHT` — Tapestry surrogate routing.
+
+A composable wrapper stack rides on top — every wrapper is itself a
+:class:`DHT` (built on :class:`~repro.dht.kernel.DelegatingDHT`), so
+stacks like ``Serializing(Replicated(Faulty(Chord)))`` compose freely:
+
+* :class:`~repro.dht.faulty.FaultyDHT` — seeded probabilistic failures.
+* :class:`~repro.dht.replicated.ReplicatedDHT` — k-way salted replicas.
+* :class:`~repro.dht.serializing.SerializingDHT` — values cross as bytes.
+* :class:`~repro.dht.accesslog.AccessLoggingDHT` — per-key traffic log.
+* :class:`~repro.resilience.wrapper.ResilientDHT` — retries + breaker.
 """
 
 from __future__ import annotations

@@ -23,7 +23,7 @@ from typing import Any, Iterable
 
 import numpy as np
 
-from repro.dht.base import DHT
+from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
 
@@ -112,8 +112,13 @@ class CANNode:
     next_split_dim: int = 0
 
 
-class CANDHT(DHT):
+class CANDHT(SubstrateBase):
     """A simulated CAN overlay implementing the generic DHT interface."""
+
+    #: Finding the owning zone is itself an O(N) scan, so owner-first
+    #: reads would cost a full pass before the holder scan they are
+    #: meant to short-circuit.
+    OWNER_FIRST_READS = False
 
     MAX_ROUTE_HOPS = 512
 
@@ -131,18 +136,21 @@ class CANDHT(DHT):
             raise ConfigurationError(f"dims must be >= 1: {dims}")
         self.dims = dims
         self._rng = np.random.default_rng(seed)
-        # Sorted live ids for gateway draws, recomputed lazily after
-        # membership changes (same fix as ChordDHT._ring).
-        self._ids_cache: list[int] | None = None
         self._next_id = 0
+        self._nodes: dict[int, CANNode] = {}
         first = CANNode(
             id=self._take_id(),
             zone=Zone((0.0,) * dims, (1.0,) * dims),
         )
-        self._nodes: dict[int, CANNode] = {first.id: first}
+        self._register(first)
         self.keys_transferred = 0
         for _ in range(n_peers - 1):
             self.join()
+
+    def _register(self, node: CANNode) -> None:
+        """Add a node to the topology and its store to the kernel."""
+        self._nodes[node.id] = node
+        self.peers.add_peer(node.id, node.store)
 
     def _take_id(self) -> int:
         self._next_id += 1
@@ -165,7 +173,9 @@ class CANDHT(DHT):
     # Routing
     # ------------------------------------------------------------------
 
-    def route(self, start: int, point: tuple[float, ...]) -> tuple[int, int]:
+    def route_point(
+        self, start: int, point: tuple[float, ...]
+    ) -> tuple[int, int]:
         """Greedy-forward from ``start`` to the zone owning ``point``."""
         current = start
         hops = 0
@@ -191,20 +201,15 @@ class CANDHT(DHT):
             hops += 1
         raise RoutingError(f"CAN routing exceeded {self.MAX_ROUTE_HOPS} hops")
 
-    def _ids(self) -> list[int]:
-        if self._ids_cache is None:
-            self._ids_cache = sorted(self._nodes)
-        return self._ids_cache
-
     def _gateway(self) -> int:
         if not self._nodes:
             raise EmptyOverlayError("no live peers")
-        ids = self._ids()
+        ids = self.peers.sorted_ids()
         return ids[int(self._rng.integers(0, len(ids)))]
 
-    def _route_key(self, key: str) -> tuple[CANNode, int]:
-        owner, hops = self.route(self._gateway(), self.key_point(key))
-        return self._nodes[owner], max(hops, 1)
+    def route(self, key: str) -> tuple[int, int]:
+        owner, hops = self.route_point(self._gateway(), self.key_point(key))
+        return owner, max(hops, 1)
 
     # ------------------------------------------------------------------
     # Membership
@@ -228,7 +233,7 @@ class CANDHT(DHT):
     def join(self) -> int:
         """A new node joins at a random point, splitting the owner's zone."""
         point = tuple(float(c) for c in self._rng.random(self.dims))
-        owner_id, _ = self.route(self._gateway(), point)
+        owner_id, _ = self.route_point(self._gateway(), point)
         owner = self._nodes[owner_id]
 
         dim = owner.next_split_dim % self.dims
@@ -244,8 +249,7 @@ class CANDHT(DHT):
         )
         owner.zone = keep
         owner.next_split_dim = dim + 1
-        self._nodes[joiner.id] = joiner
-        self._ids_cache = None
+        self._register(joiner)
 
         moved = [
             key
@@ -280,51 +284,19 @@ class CANDHT(DHT):
             other.store.update(node.store)
             self.keys_transferred += len(node.store)
             del self._nodes[node_id]
-            self._ids_cache = None
-            self._refresh_neighbors([other.id])
+            self.peers.remove_peer(node_id)
+            # Refresh around the leaver's former neighbors too: they must
+            # drop the dead edge and may gain the merged zone as a new
+            # neighbor, but need not be anywhere near the buddy.
+            self._refresh_neighbors(
+                [other.id, *(n for n in node.neighbors if n in self._nodes)]
+            )
             return True
         return False
 
     # ------------------------------------------------------------------
-    # DHT interface
+    # Placement oracle and diagnostics
     # ------------------------------------------------------------------
-
-    def put(self, key: str, value: Any) -> None:
-        node, hops = self._route_key(key)
-        self.metrics.record_put(hops)
-        node.store[key] = value
-
-    def get(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        value = node.store.get(key)
-        self.metrics.record_get(hops, found=value is not None)
-        return value
-
-    def remove(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        self.metrics.record_remove(hops)
-        return node.store.pop(key, None)
-
-    def local_write(self, key: str, value: Any) -> None:
-        for node in self._nodes.values():
-            if key in node.store:
-                node.store[key] = value
-                return
-        self._nodes[self.peer_of(key)].store[key] = value
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        for node in self._nodes.values():
-            if key in node.store:
-                return node.store[key]
-        return None
-
-    def keys(self) -> Iterable[str]:
-        for node in self._nodes.values():
-            yield from node.store
 
     def peer_of(self, key: str) -> int:
         point = self.key_point(key)
@@ -332,18 +304,6 @@ class CANDHT(DHT):
             if node.zone.contains(point):
                 return node.id
         raise RoutingError(f"no zone contains point {point}")
-
-    def peer_loads(self) -> dict[int, int]:
-        return {nid: len(node.store) for nid, node in self._nodes.items()}
-
-    @property
-    def n_peers(self) -> int:
-        return len(self._nodes)
-
-    @property
-    def node_ids(self) -> list[int]:
-        """Sorted identifiers of all live nodes."""
-        return list(self._ids())
 
     def check_partition(self) -> None:
         """Assert zones tile the whole torus exactly once."""

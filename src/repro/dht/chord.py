@@ -11,18 +11,23 @@ Routing is executed synchronously (a routed operation returns its result
 and hop count immediately); the *maintenance* protocol is driven either
 manually (:meth:`ChordDHT.stabilize_all`) or by the discrete-event churn
 driver in :mod:`repro.dht.churn`.
+
+Storage, metrics charging, and the sorted-ring cache live in the shared
+peer-store kernel (:mod:`repro.dht.kernel`); this module contains only
+what is Chord: the routing geometry and the membership/stabilization
+protocol.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any
 
 import numpy as np
 
-from repro.dht.base import DHT
 from repro.dht.hashing import hash_key, in_half_open_interval, in_open_interval
+from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
 
@@ -46,7 +51,7 @@ class ChordNode:
         return self.successors[0] if self.successors else None
 
 
-class ChordDHT(DHT):
+class ChordDHT(SubstrateBase):
     """A simulated Chord overlay implementing the generic DHT interface.
 
     Args:
@@ -82,18 +87,23 @@ class ChordDHT(DHT):
         self.successor_list_len = successor_list_len
         self._rng = np.random.default_rng(seed)
         self._nodes: dict[int, ChordNode] = {}
-        # Sorted ring view, recomputed lazily after membership changes.
-        # Routed ops and peer_of draw from it instead of re-sorting all
-        # node ids per operation.
-        self._ring_cache: list[int] | None = None
         self.keys_transferred = 0
         for node_id in self._draw_ids(n_peers):
-            self._nodes[node_id] = ChordNode(id=node_id)
+            self._register(ChordNode(id=node_id))
         self.build_ring()
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+
+    def _register(self, node: ChordNode) -> None:
+        """Add a node to the topology and its store to the kernel."""
+        self._nodes[node.id] = node
+        self.peers.add_peer(node.id, node.store)
+
+    def _unregister(self, node_id: int) -> None:
+        del self._nodes[node_id]
+        self.peers.remove_peer(node_id)
 
     def _draw_ids(self, count: int) -> list[int]:
         ids: set[int] = set(self._nodes)
@@ -129,15 +139,6 @@ class ChordDHT(DHT):
     def _exact_successor(ordered: list[int], target: int) -> int:
         idx = bisect.bisect_left(ordered, target)
         return ordered[idx % len(ordered)]
-
-    def _ring(self) -> list[int]:
-        """The sorted live-node ids, cached between membership changes."""
-        if self._ring_cache is None:
-            self._ring_cache = sorted(self._nodes)
-        return self._ring_cache
-
-    def _invalidate_ring(self) -> None:
-        self._ring_cache = None
 
     # ------------------------------------------------------------------
     # Routing
@@ -193,48 +194,16 @@ class ChordDHT(DHT):
         """A random live node to originate a routed operation from."""
         if not self._nodes:
             raise EmptyOverlayError("no live peers")
-        ids = self._ring()
+        ids = self.peers.sorted_ids()
         return ids[int(self._rng.integers(0, len(ids)))]
 
-    def _route_key(self, key: str) -> tuple[ChordNode, int]:
+    def route(self, key: str) -> tuple[int, int]:
         kid = hash_key(key, self.id_bits)
-        owner, hops = self.find_successor(self._gateway(), kid)
-        return self._nodes[owner], hops
+        return self.find_successor(self._gateway(), kid)
 
-    # ------------------------------------------------------------------
-    # DHT interface
-    # ------------------------------------------------------------------
-
-    def put(self, key: str, value: Any) -> None:
-        node, hops = self._route_key(key)
-        self.metrics.record_put(hops)
-        node.store[key] = value
-
-    def get(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        value = node.store.get(key)
-        self.metrics.record_get(hops, found=value is not None)
-        return value
-
-    def remove(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        self.metrics.record_remove(hops)
-        return node.store.pop(key, None)
-
-
-    def local_write(self, key: str, value: Any) -> None:
-        # The holding peer is the responsible node in any converged ring,
-        # so check it first (O(log N)); scan only if churn displaced the
-        # key to a peer stale routing once delivered it to.
-        owner = self._nodes[self.peer_of(key)]
-        if key in owner.store:
-            owner.store[key] = value
-            return
-        for node in self._nodes.values():
-            if key in node.store:
-                node.store[key] = value
-                return
-        owner.store[key] = value
+    def peer_of(self, key: str) -> int:
+        kid = hash_key(key, self.id_bits)
+        return self._exact_successor(self.peers.sorted_ids(), kid)
 
     # ------------------------------------------------------------------
     # Membership protocol
@@ -255,8 +224,7 @@ class ChordDHT(DHT):
         node = ChordNode(id=node_id)
         node.successors = ([succ_id] + succ.successors)[: self.successor_list_len]
         node.fingers = [succ_id] * self.id_bits
-        self._nodes[node_id] = node
-        self._invalidate_ring()
+        self._register(node)
 
         # Take over keys in (predecessor(succ), node_id].
         pred = succ.predecessor if self._alive(succ.predecessor) else succ_id
@@ -289,11 +257,10 @@ class ChordDHT(DHT):
         if len(self._nodes) == 1:
             raise EmptyOverlayError("cannot remove the last peer")
         if graceful:
-            del self._nodes[node_id]  # successor search must skip the leaver
-            self._invalidate_ring()
+            self._unregister(node_id)  # successor search must skip the leaver
             succ_id = next((s for s in node.successors if self._alive(s)), None)
             if succ_id is None:
-                succ_id = self._exact_successor(self._ring(), node_id)
+                succ_id = self._exact_successor(self.peers.sorted_ids(), node_id)
             succ = self._nodes[succ_id]
             succ.store.update(node.store)
             self.keys_transferred += len(node.store)
@@ -307,8 +274,7 @@ class ChordDHT(DHT):
                 succ.predecessor = node.predecessor
         else:
             # Crash: keys stored there are lost until re-published.
-            del self._nodes[node_id]
-            self._invalidate_ring()
+            self._unregister(node_id)
 
     def fail(self, node_id: int) -> None:
         """Crash a node without key handoff (shorthand for ungraceful leave)."""
@@ -374,39 +340,8 @@ class ChordDHT(DHT):
                     self.fix_fingers(node_id, fingers_per_round)
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Diagnostics
     # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        if not self._nodes:
-            return None
-        value = self._nodes[self.peer_of(key)].store.get(key)
-        if value is not None:
-            return value
-        for node in self._nodes.values():
-            if key in node.store:
-                return node.store[key]
-        return None
-
-    def keys(self) -> Iterable[str]:
-        for node in self._nodes.values():
-            yield from node.store
-
-    def peer_of(self, key: str) -> int:
-        kid = hash_key(key, self.id_bits)
-        return self._exact_successor(self._ring(), kid)
-
-    def peer_loads(self) -> dict[int, int]:
-        return {nid: len(node.store) for nid, node in self._nodes.items()}
-
-    @property
-    def n_peers(self) -> int:
-        return len(self._nodes)
-
-    @property
-    def node_ids(self) -> list[int]:
-        """Sorted identifiers of all live nodes."""
-        return list(self._ring())
 
     def check_ring(self) -> None:
         """Assert the successor pointers form a single cycle over all nodes."""

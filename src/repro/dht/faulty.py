@@ -25,17 +25,18 @@ top to recover from these injected faults.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any
 
 import numpy as np
 
 from repro.dht.base import DHT
+from repro.dht.kernel import DelegatingDHT
 from repro.errors import ConfigurationError, DHTError
 
 __all__ = ["FaultyDHT"]
 
 
-class FaultyDHT(DHT):
+class FaultyDHT(DelegatingDHT):
     """Wrap a substrate with seeded, probabilistic operation failures."""
 
     def __init__(
@@ -49,8 +50,7 @@ class FaultyDHT(DHT):
         rates = (get_drop_rate, put_fail_rate, remove_fail_rate)
         if any(not 0.0 <= rate <= 1.0 for rate in rates):
             raise ConfigurationError("failure rates must be in [0, 1]")
-        super().__init__(inner.metrics)
-        self.inner = inner
+        super().__init__(inner)
         self.get_drop_rate = get_drop_rate
         self.put_fail_rate = put_fail_rate
         self.remove_fail_rate = remove_fail_rate
@@ -87,25 +87,5 @@ class FaultyDHT(DHT):
             raise DHTError(f"injected remove failure for {key!r}")
         return self.inner.remove(key)
 
-    def local_write(self, key: str, value: Any) -> None:
-        self.inner.local_write(key, value)
-
-    # ------------------------------------------------------------------
-    # Introspection (never faulty: it models oracle access)
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        return self.inner.peek(key)
-
-    def keys(self) -> Iterable[str]:
-        return self.inner.keys()
-
-    def peer_of(self, key: str) -> int:
-        return self.inner.peer_of(key)
-
-    def peer_loads(self) -> dict[int, int]:
-        return self.inner.peer_loads()
-
-    @property
-    def n_peers(self) -> int:
-        return self.inner.n_peers
+    # ``local_write`` and all introspection delegate via DelegatingDHT:
+    # fault injection models the routed network path only.

@@ -20,12 +20,12 @@ iterative lookup, Kademlia's natural bandwidth unit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any
 
 import numpy as np
 
-from repro.dht.base import DHT
 from repro.dht.hashing import hash_key
+from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import ConfigurationError, RoutingError
 
@@ -45,7 +45,7 @@ class KademliaNode:
         return [c for bucket in self.buckets for c in bucket]
 
 
-class KademliaDHT(DHT):
+class KademliaDHT(SubstrateBase):
     """A simulated Kademlia overlay implementing the generic DHT interface."""
 
     MAX_ROUNDS = 64
@@ -71,12 +71,11 @@ class KademliaDHT(DHT):
         ids: set[int] = set()
         while len(ids) < n_peers:
             ids.add(int(self._rng.integers(0, 1 << id_bits)))
-        self._nodes: dict[int, KademliaNode] = {
-            nid: KademliaNode(id=nid) for nid in ids
-        }
-        # Membership is static, so the sorted gateway list is computed
-        # once instead of per routed operation.
-        self._sorted_ids = sorted(self._nodes)
+        self._nodes: dict[int, KademliaNode] = {}
+        for nid in ids:
+            node = KademliaNode(id=nid)
+            self._nodes[nid] = node
+            self.peers.add_peer(nid, node.store)
         self._build_buckets()
 
     # ------------------------------------------------------------------
@@ -140,68 +139,16 @@ class KademliaDHT(DHT):
             raise RoutingError(f"Kademlia lookup did not converge on {target}")
         return shortlist[0], max(messages, 1)
 
-    def _route_key(self, key: str) -> tuple[KademliaNode, int]:
+    def route(self, key: str) -> tuple[int, int]:
         target = hash_key(key, self.id_bits)
-        ids = self._sorted_ids
+        ids = self.peers.sorted_ids()
         start = ids[int(self._rng.integers(0, len(ids)))]
-        owner, messages = self.iterative_find(start, target)
-        return self._nodes[owner], messages
+        return self.iterative_find(start, target)
 
     # ------------------------------------------------------------------
-    # DHT interface
+    # Placement oracle
     # ------------------------------------------------------------------
-
-    def put(self, key: str, value: Any) -> None:
-        node, hops = self._route_key(key)
-        self.metrics.record_put(hops)
-        node.store[key] = value
-
-    def get(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        value = node.store.get(key)
-        self.metrics.record_get(hops, found=value is not None)
-        return value
-
-    def remove(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        self.metrics.record_remove(hops)
-        return node.store.pop(key, None)
-
-
-    def local_write(self, key: str, value: Any) -> None:
-        # Static overlay: the XOR-closest node always holds the key, so
-        # the O(N) peer scan only runs if a test seeded state elsewhere.
-        owner = self._nodes[self.peer_of(key)]
-        if key in owner.store:
-            owner.store[key] = value
-            return
-        for node in self._nodes.values():
-            if key in node.store:
-                node.store[key] = value
-                return
-        owner.store[key] = value
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        for node in self._nodes.values():
-            if key in node.store:
-                return node.store[key]
-        return None
-
-    def keys(self) -> Iterable[str]:
-        for node in self._nodes.values():
-            yield from node.store
 
     def peer_of(self, key: str) -> int:
         target = hash_key(key, self.id_bits)
         return min(self._nodes, key=lambda nid: nid ^ target)
-
-    def peer_loads(self) -> dict[int, int]:
-        return {nid: len(node.store) for nid, node in self._nodes.items()}
-
-    @property
-    def n_peers(self) -> int:
-        return len(self._nodes)

@@ -1,0 +1,324 @@
+"""Shared peer-store kernel under every DHT substrate and wrapper.
+
+The paper's whole point is that LHT runs unchanged over *any* generic
+put/get DHT — so the only thing that should vary between substrates is
+**topology**: how a key routes to its owning peer, and how the overlay
+repairs itself.  Everything else — per-peer key/value storage, liveness,
+the sorted-id cache and its invalidation protocol, owner-first local
+writes, oracle reads, and all :class:`~repro.dht.metrics.MetricsRecorder`
+charging — is substrate-independent and lives here, exactly once.
+
+Three classes:
+
+* :class:`PeerStore` — the storage/membership kernel.  Owns one
+  ``dict[str, Any]`` store per live peer (registration order is
+  preserved, which pins oracle-scan order), and a lazily recomputed
+  sorted-id view invalidated on every membership change — the single
+  invalidation protocol that PR 4 previously had to wire into four
+  substrates by hand.
+* :class:`SubstrateBase` — a :class:`~repro.dht.base.DHT` whose routed
+  operations (``put``/``get``/``remove``) are implemented once against
+  the peer store; a concrete substrate shrinks to its essence: a
+  :meth:`SubstrateBase.route` implementation (``key -> (owner_id,
+  hops)``), a :meth:`SubstrateBase.peer_of` placement rule, and its
+  topology-maintenance methods (finger repair, zone split, k-bucket
+  construction, surrogate resolution).  Lint rule LHT006 keeps concrete
+  substrates from re-growing overrides of the kernel-owned methods.
+* :class:`DelegatingDHT` — the base for the wrapper stack
+  (:class:`~repro.dht.faulty.FaultyDHT`,
+  :class:`~repro.dht.replicated.ReplicatedDHT`,
+  :class:`~repro.dht.serializing.SerializingDHT`,
+  :class:`~repro.dht.accesslog.AccessLoggingDHT`,
+  :class:`~repro.resilience.wrapper.ResilientDHT`).  It shares the inner
+  recorder (costs add up across a stack) and delegates the full
+  interface, so each wrapper overrides only the operations it actually
+  changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Iterator
+
+from repro.dht.base import DHT
+from repro.dht.metrics import MetricsRecorder
+from repro.errors import NoSuchPeerError
+
+__all__ = ["PeerStore", "SubstrateBase", "DelegatingDHT"]
+
+
+class PeerStore:
+    """Per-peer key/value stores, liveness, and the sorted-id cache.
+
+    Peers register in overlay-construction order and that order is
+    preserved (Python dicts keep insertion order through deletions), so
+    holder scans — the fallback path of :meth:`SubstrateBase.peek` and
+    :meth:`SubstrateBase.local_write` — visit peers exactly as the
+    pre-kernel substrates visited their node dicts.
+
+    The sorted-id view is recomputed lazily and invalidated by
+    :meth:`add_peer` / :meth:`remove_peer`; static overlays therefore pay
+    one sort at construction, dynamic overlays one sort per membership
+    change, never one per routed operation.
+    """
+
+    __slots__ = ("_stores", "_sorted_cache")
+
+    def __init__(self) -> None:
+        self._stores: dict[int, dict[str, Any]] = {}
+        self._sorted_cache: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_peer(
+        self, peer_id: int, store: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Register a live peer; returns its (possibly shared) store.
+
+        Substrates whose node records expose a public ``store`` field
+        pass that dict in, so node objects and the kernel always view
+        the same storage.
+        """
+        if peer_id in self._stores:
+            raise NoSuchPeerError(f"peer {peer_id} already registered")
+        self._stores[peer_id] = store if store is not None else {}
+        self._sorted_cache = None
+        return self._stores[peer_id]
+
+    def remove_peer(self, peer_id: int) -> dict[str, Any]:
+        """Deregister a peer (leave/crash); returns its orphaned store
+        so graceful departures can hand the keys to a successor."""
+        try:
+            store = self._stores.pop(peer_id)
+        except KeyError:
+            raise NoSuchPeerError(f"peer {peer_id} is not registered") from None
+        self._sorted_cache = None
+        return store
+
+    def is_live(self, peer_id: int | None) -> bool:
+        """Whether ``peer_id`` names a live peer."""
+        return peer_id is not None and peer_id in self._stores
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._stores
+
+    # ------------------------------------------------------------------
+    # Sorted-id cache (single invalidation protocol)
+    # ------------------------------------------------------------------
+
+    def sorted_ids(self) -> list[int]:
+        """Sorted live-peer ids, cached between membership changes."""
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._stores)
+        return self._sorted_cache
+
+    # ------------------------------------------------------------------
+    # Storage access
+    # ------------------------------------------------------------------
+
+    def store_of(self, peer_id: int) -> dict[str, Any]:
+        """The key/value store of one live peer."""
+        try:
+            return self._stores[peer_id]
+        except KeyError:
+            raise NoSuchPeerError(f"peer {peer_id} is not registered") from None
+
+    def find_holder(self, key: str) -> int | None:
+        """First peer (registration order) whose store holds ``key``."""
+        for peer_id, store in self._stores.items():
+            if key in store:
+                return peer_id
+        return None
+
+    def all_keys(self) -> Iterator[str]:
+        """Every stored key, grouped by peer in registration order."""
+        for store in self._stores.values():
+            yield from store
+
+    def loads(self) -> dict[int, int]:
+        """Stored-key count per peer, in registration order."""
+        return {peer_id: len(store) for peer_id, store in self._stores.items()}
+
+
+class SubstrateBase(DHT):
+    """A DHT substrate built on the shared :class:`PeerStore` kernel.
+
+    Concrete substrates implement exactly two placement methods —
+    :meth:`route` (the routed path, charged) and :meth:`peer_of` (the
+    oracle placement rule, free) — plus whatever topology maintenance
+    their overlay needs.  The kernel implements every storage-facing
+    method of the :class:`~repro.dht.base.DHT` interface against
+    ``self.peers`` and funnels all metrics charging through one place.
+    """
+
+    #: Read/repair order for the un-routed paths (``peek``,
+    #: ``local_write``).  Owner-first is right whenever computing the
+    #: owner is cheaper than scanning every peer (all ring/XOR/prefix
+    #: overlays); Tapestry flips it because surrogate resolution is
+    #: ``O(digits · N)`` — more than the holder scan it would save.
+    OWNER_FIRST_READS = True
+
+    def __init__(self, metrics: MetricsRecorder | None = None) -> None:
+        super().__init__(metrics)
+        self.peers = PeerStore()
+
+    # ------------------------------------------------------------------
+    # Substrate essence
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def route(self, key: str) -> tuple[int, int]:
+        """Route to the peer responsible for ``key``.
+
+        Returns ``(owner_peer_id, hops)``; the kernel charges the hops
+        to the shared recorder.  Implementations draw their gateway from
+        their own seeded generator, so routed-operation RNG streams are
+        substrate-local.
+        """
+
+    @abc.abstractmethod
+    def peer_of(self, key: str) -> int:
+        """Placement oracle: the peer currently responsible for ``key``
+        (free of lookup cost; must agree with :meth:`route` on a
+        converged overlay)."""
+
+    # ------------------------------------------------------------------
+    # Routed operations (each is one DHT-lookup, charged here)
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        owner, hops = self.route(key)
+        self.metrics.record_put(hops)
+        self.peers.store_of(owner)[key] = value
+
+    def get(self, key: str) -> Any | None:
+        owner, hops = self.route(key)
+        value = self.peers.store_of(owner).get(key)
+        self.metrics.record_get(hops, found=value is not None)
+        return value
+
+    def remove(self, key: str) -> Any | None:
+        owner, hops = self.route(key)
+        self.metrics.record_remove(hops)
+        return self.peers.store_of(owner).pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Local persistence (free of lookup cost)
+    # ------------------------------------------------------------------
+
+    def local_write(self, key: str, value: Any) -> None:
+        # The holding peer rewrites its own disk (Alg. 1): update the
+        # key wherever it currently lives — the responsible peer on any
+        # converged overlay, possibly a stale holder under churn — and
+        # place fresh keys at the responsible peer.
+        if self.OWNER_FIRST_READS:
+            owner_store = self.peers.store_of(self.peer_of(key))
+            if key in owner_store:
+                owner_store[key] = value
+                return
+            holder = self.peers.find_holder(key)
+            if holder is not None:
+                self.peers.store_of(holder)[key] = value
+                return
+            owner_store[key] = value
+        else:
+            holder = self.peers.find_holder(key)
+            if holder is not None:
+                self.peers.store_of(holder)[key] = value
+                return
+            self.peers.store_of(self.peer_of(key))[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection (free of lookup cost)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        if not len(self.peers):
+            return None
+        if self.OWNER_FIRST_READS:
+            value = self.peers.store_of(self.peer_of(key)).get(key)
+            if value is not None:
+                return value
+        holder = self.peers.find_holder(key)
+        if holder is None:
+            return None
+        return self.peers.store_of(holder).get(key)
+
+    def keys(self) -> Iterable[str]:
+        return self.peers.all_keys()
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.peers.loads()
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.peers)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted identifiers of all live peers."""
+        return list(self.peers.sorted_ids())
+
+
+class DelegatingDHT(DHT):
+    """Base for wrapper DHTs: share the recorder, delegate everything.
+
+    A wrapper overrides only the operations whose semantics it changes;
+    the rest fall through to ``inner`` here, so cross-cutting plumbing
+    (metrics pass-through, oracle delegation, error typing via the
+    inherited :meth:`~repro.dht.base.DHT.multi_get`) lives in exactly
+    one place.
+
+    ``multi_get`` is deliberately *not* forwarded to
+    ``inner.multi_get``: the inherited sequential default issues each
+    get through the **wrapper's own** ``get``, so per-key semantics
+    (fault injection, retries, replica fan-out, serialization) apply to
+    batched rounds exactly as to single gets, and a typed
+    :class:`~repro.errors.DHTError` per key is absorbed or propagated
+    by the one implementation in the abstract base.
+    """
+
+    def __init__(self, inner: DHT) -> None:
+        super().__init__(inner.metrics)  # share the recorder: costs add up
+        self.inner = inner
+
+    # ------------------------------------------------------------------
+    # Routed operations (delegated; wrappers override selectively)
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        self.inner.put(key, value)
+
+    def get(self, key: str) -> Any | None:
+        return self.inner.get(key)
+
+    def remove(self, key: str) -> Any | None:
+        return self.inner.remove(key)
+
+    def local_write(self, key: str, value: Any) -> None:
+        self.inner.local_write(key, value)
+
+    # ------------------------------------------------------------------
+    # Introspection (oracle access: never wrapped, never charged)
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Any | None:
+        return self.inner.peek(key)
+
+    def keys(self) -> Iterable[str]:
+        return self.inner.keys()
+
+    def peer_of(self, key: str) -> int:
+        return self.inner.peer_of(key)
+
+    def peer_loads(self) -> dict[int, int]:
+        return self.inner.peer_loads()
+
+    @property
+    def n_peers(self) -> int:
+        return self.inner.n_peers

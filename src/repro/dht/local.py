@@ -16,19 +16,18 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Any, Iterable
 
 import numpy as np
 
-from repro.dht.base import DHT
 from repro.dht.hashing import ID_SPACE, hash_key
+from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import ConfigurationError
 
 __all__ = ["LocalDHT"]
 
 
-class LocalDHT(DHT):
+class LocalDHT(SubstrateBase):
     """In-process DHT with consistent-hash placement over virtual peers.
 
     Args:
@@ -54,59 +53,21 @@ class LocalDHT(DHT):
             for _ in range(3):
                 pid = (pid << 64) | int(rng.integers(0, 1 << 63))
             ids.add(pid % ID_SPACE)
-        self._peer_ids = sorted(ids)
-        self._store: dict[str, Any] = {}
+        for pid in sorted(ids):
+            self.peers.add_peer(pid)
         self._hop_cost = max(1, math.ceil(math.log2(n_peers)))
 
     # ------------------------------------------------------------------
-    # Placement
+    # Placement (the substrate essence: a static ring, no real routing)
     # ------------------------------------------------------------------
 
-    def _responsible(self, key: str) -> int:
-        """Successor peer of ``hash(key)`` on the ring."""
-        kid = hash_key(key)
-        idx = bisect.bisect_left(self._peer_ids, kid)
-        return self._peer_ids[idx % len(self._peer_ids)]
-
-    # ------------------------------------------------------------------
-    # DHT interface
-    # ------------------------------------------------------------------
-
-    def put(self, key: str, value: Any) -> None:
-        self.metrics.record_put(self._hop_cost)
-        self._store[key] = value
-
-    def get(self, key: str) -> Any | None:
-        value = self._store.get(key)
-        self.metrics.record_get(self._hop_cost, found=value is not None)
-        return value
-
-    def remove(self, key: str) -> Any | None:
-        self.metrics.record_remove(self._hop_cost)
-        return self._store.pop(key, None)
-
-    def local_write(self, key: str, value: Any) -> None:
-        self._store[key] = value
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        return self._store.get(key)
-
-    def keys(self) -> Iterable[str]:
-        return self._store.keys()
+    def route(self, key: str) -> tuple[int, int]:
+        """Synthetic routing: the responsible peer at ``⌈log2 N⌉`` hops."""
+        return self.peer_of(key), self._hop_cost
 
     def peer_of(self, key: str) -> int:
-        return self._responsible(key)
-
-    def peer_loads(self) -> dict[int, int]:
-        loads: dict[int, int] = {pid: 0 for pid in self._peer_ids}
-        for key in self._store:
-            loads[self._responsible(key)] += 1
-        return loads
-
-    @property
-    def n_peers(self) -> int:
-        return len(self._peer_ids)
+        """Successor peer of ``hash(key)`` on the ring."""
+        kid = hash_key(key)
+        peer_ids = self.peers.sorted_ids()
+        idx = bisect.bisect_left(peer_ids, kid)
+        return peer_ids[idx % len(peer_ids)]

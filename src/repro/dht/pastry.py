@@ -19,8 +19,8 @@ from typing import Any, Iterable
 
 import numpy as np
 
-from repro.dht.base import DHT
 from repro.dht.hashing import hash_key
+from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import ConfigurationError, RoutingError
 
@@ -37,7 +37,7 @@ class PastryNode:
     store: dict[str, Any] = field(default_factory=dict)
 
 
-class PastryDHT(DHT):
+class PastryDHT(SubstrateBase):
     """A simulated Pastry overlay implementing the generic DHT interface."""
 
     MAX_ROUTE_HOPS = 128
@@ -65,10 +65,11 @@ class PastryDHT(DHT):
         ids: set[int] = set()
         while len(ids) < n_peers:
             ids.add(int(self._rng.integers(0, 1 << id_bits)))
-        self._nodes: dict[int, PastryNode] = {nid: PastryNode(id=nid) for nid in ids}
-        # Membership is static, so the sorted gateway list is computed
-        # once instead of per routed operation.
-        self._sorted_ids = sorted(self._nodes)
+        self._nodes: dict[int, PastryNode] = {}
+        for nid in ids:
+            node = PastryNode(id=nid)
+            self._nodes[nid] = node
+            self.peers.add_peer(nid, node.store)
         self._build_tables()
 
     # ------------------------------------------------------------------
@@ -131,7 +132,7 @@ class PastryDHT(DHT):
         space = 1 << self.id_bits
         return min(candidates, key=lambda c: (self._circular_diff(c, key_id, space), c))
 
-    def route(self, start: int, key_id: int) -> tuple[int, int]:
+    def route_id(self, start: int, key_id: int) -> tuple[int, int]:
         """Route from ``start`` towards ``key_id``; returns (owner, hops)."""
         current = start
         hops = 0
@@ -163,69 +164,17 @@ class PastryDHT(DHT):
             hops += 1
         raise RoutingError(f"Pastry routing exceeded {self.MAX_ROUTE_HOPS} hops")
 
-    def _route_key(self, key: str) -> tuple[PastryNode, int]:
+    def route(self, key: str) -> tuple[int, int]:
         key_id = hash_key(key, self.id_bits)
-        ids = self._sorted_ids
+        ids = self.peers.sorted_ids()
         start = ids[int(self._rng.integers(0, len(ids)))]
-        owner, hops = self.route(start, key_id)
-        return self._nodes[owner], max(hops, 1)
+        owner, hops = self.route_id(start, key_id)
+        return owner, max(hops, 1)
 
     # ------------------------------------------------------------------
-    # DHT interface
+    # Placement oracle
     # ------------------------------------------------------------------
-
-    def put(self, key: str, value: Any) -> None:
-        node, hops = self._route_key(key)
-        self.metrics.record_put(hops)
-        node.store[key] = value
-
-    def get(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        value = node.store.get(key)
-        self.metrics.record_get(hops, found=value is not None)
-        return value
-
-    def remove(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        self.metrics.record_remove(hops)
-        return node.store.pop(key, None)
-
-
-    def local_write(self, key: str, value: Any) -> None:
-        # Static overlay: routing delivers to the numerically closest
-        # node, so the responsible peer holds the key; scan only as a
-        # fallback for externally seeded state.
-        owner = self._nodes[self.peer_of(key)]
-        if key in owner.store:
-            owner.store[key] = value
-            return
-        for node in self._nodes.values():
-            if key in node.store:
-                node.store[key] = value
-                return
-        owner.store[key] = value
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        for node in self._nodes.values():
-            if key in node.store:
-                return node.store[key]
-        return None
-
-    def keys(self) -> Iterable[str]:
-        for node in self._nodes.values():
-            yield from node.store
 
     def peer_of(self, key: str) -> int:
         key_id = hash_key(key, self.id_bits)
         return self._numerically_closest(self._nodes, key_id)
-
-    def peer_loads(self) -> dict[int, int]:
-        return {nid: len(node.store) for nid, node in self._nodes.items()}
-
-    @property
-    def n_peers(self) -> int:
-        return len(self._nodes)

@@ -17,12 +17,13 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.dht.base import DHT
+from repro.dht.kernel import DelegatingDHT
 from repro.errors import ConfigurationError
 
 __all__ = ["ReplicatedDHT"]
 
 
-class ReplicatedDHT(DHT):
+class ReplicatedDHT(DelegatingDHT):
     """Store each value under ``n_replicas`` salted keys of an inner DHT.
 
     Replica ``0`` uses the unmodified key (so peer placement of the
@@ -33,8 +34,7 @@ class ReplicatedDHT(DHT):
     def __init__(self, inner: DHT, n_replicas: int = 3) -> None:
         if n_replicas < 1:
             raise ConfigurationError(f"n_replicas must be >= 1: {n_replicas}")
-        super().__init__(inner.metrics)  # share the recorder: costs add up
-        self.inner = inner
+        super().__init__(inner)
         self.n_replicas = n_replicas
 
     def _replica_keys(self, key: str) -> list[str]:
@@ -85,16 +85,6 @@ class ReplicatedDHT(DHT):
                 seen.add(base)
                 yield base
 
-    def peer_of(self, key: str) -> int:
-        return self.inner.peer_of(key)
-
     def replica_peers(self, key: str) -> list[int]:
         """Peers holding each replica of ``key``."""
         return [self.inner.peer_of(rk) for rk in self._replica_keys(key)]
-
-    def peer_loads(self) -> dict[int, int]:
-        return self.inner.peer_loads()
-
-    @property
-    def n_peers(self) -> int:
-        return self.inner.n_peers

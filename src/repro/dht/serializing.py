@@ -16,19 +16,19 @@ byte-oriented DHT such as OpenDHT.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Iterable
+from typing import Any
 
 from repro.dht.base import DHT
+from repro.dht.kernel import DelegatingDHT
 
 __all__ = ["SerializingDHT"]
 
 
-class SerializingDHT(DHT):
+class SerializingDHT(DelegatingDHT):
     """Wrap a substrate so all values are stored in serialized form."""
 
     def __init__(self, inner: DHT) -> None:
-        super().__init__(inner.metrics)
-        self.inner = inner
+        super().__init__(inner)
         self.bytes_written = 0
 
     def _encode(self, value: Any) -> bytes:
@@ -57,21 +57,8 @@ class SerializingDHT(DHT):
         self.inner.local_write(key, self._encode(value))
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection (peek decodes too; the rest delegate)
     # ------------------------------------------------------------------
 
     def peek(self, key: str) -> Any | None:
         return self._decode(self.inner.peek(key))
-
-    def keys(self) -> Iterable[str]:
-        return self.inner.keys()
-
-    def peer_of(self, key: str) -> int:
-        return self.inner.peer_of(key)
-
-    def peer_loads(self) -> dict[int, int]:
-        return self.inner.peer_loads()
-
-    @property
-    def n_peers(self) -> int:
-        return self.inner.n_peers

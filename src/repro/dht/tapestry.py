@@ -16,12 +16,12 @@ overlays in this package.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any
 
 import numpy as np
 
-from repro.dht.base import DHT
 from repro.dht.hashing import hash_key
+from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import ConfigurationError, RoutingError
 
@@ -42,8 +42,13 @@ class TapestryNode:
     store: dict[str, Any] = field(default_factory=dict)
 
 
-class TapestryDHT(DHT):
+class TapestryDHT(SubstrateBase):
     """A simulated Tapestry overlay implementing the generic DHT API."""
+
+    #: Audit note (cf. the kernel's owner-first default): surrogate
+    #: resolution is O(digits · N) here — *more* than the O(N) holder
+    #: scan — so the scan-first read order is kept deliberately.
+    OWNER_FIRST_READS = False
 
     def __init__(
         self,
@@ -68,12 +73,11 @@ class TapestryDHT(DHT):
         ids: set[int] = set()
         while len(ids) < n_peers:
             ids.add(int(self._rng.integers(0, 1 << id_bits)))
-        self._nodes: dict[int, TapestryNode] = {
-            nid: TapestryNode(id=nid) for nid in ids
-        }
-        # Membership is static, so the sorted gateway/surrogate list is
-        # computed once instead of per routed operation.
-        self._sorted_ids = sorted(self._nodes)
+        self._nodes: dict[int, TapestryNode] = {}
+        for nid in ids:
+            node = TapestryNode(id=nid)
+            self._nodes[nid] = node
+            self.peers.add_peer(nid, node.store)
         self._build_tables()
 
     # ------------------------------------------------------------------
@@ -116,7 +120,7 @@ class TapestryDHT(DHT):
         each level take the smallest present digit ≥ the key's digit
         (wrapping to 0), among nodes matching the prefix chosen so far.
         """
-        candidates = list(self._sorted_ids)
+        candidates = list(self.peers.sorted_ids())
         prefix_choice: list[int] = []
         for level in range(self.n_digits):
             present = sorted(
@@ -136,7 +140,7 @@ class TapestryDHT(DHT):
     # Routing
     # ------------------------------------------------------------------
 
-    def route(self, start: int, key_id: int) -> tuple[int, int]:
+    def route_id(self, start: int, key_id: int) -> tuple[int, int]:
         """Digit-by-digit forwarding with surrogate fallback."""
         current = start
         hops = 0
@@ -162,63 +166,16 @@ class TapestryDHT(DHT):
             hops += 1
         return current, hops
 
-    def _route_key(self, key: str) -> tuple[TapestryNode, int]:
+    def route(self, key: str) -> tuple[int, int]:
         key_id = hash_key(key, self.id_bits)
-        ids = self._sorted_ids
+        ids = self.peers.sorted_ids()
         start = ids[int(self._rng.integers(0, len(ids)))]
-        owner, hops = self.route(start, key_id)
-        return self._nodes[owner], max(hops, 1)
+        owner, hops = self.route_id(start, key_id)
+        return owner, max(hops, 1)
 
     # ------------------------------------------------------------------
-    # DHT interface
+    # Placement oracle
     # ------------------------------------------------------------------
-
-    def put(self, key: str, value: Any) -> None:
-        node, hops = self._route_key(key)
-        self.metrics.record_put(hops)
-        node.store[key] = value
-
-    def get(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        value = node.store.get(key)
-        self.metrics.record_get(hops, found=value is not None)
-        return value
-
-    def remove(self, key: str) -> Any | None:
-        node, hops = self._route_key(key)
-        self.metrics.record_remove(hops)
-        return node.store.pop(key, None)
-
-    def local_write(self, key: str, value: Any) -> None:
-        # Audit note (cf. ChordDHT.local_write): surrogate resolution is
-        # O(digits · N) here — *more* than the O(N) holder scan — so the
-        # scan-first order is kept deliberately.
-        for node in self._nodes.values():
-            if key in node.store:
-                node.store[key] = value
-                return
-        self._nodes[self.peer_of(key)].store[key] = value
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        for node in self._nodes.values():
-            if key in node.store:
-                return node.store[key]
-        return None
-
-    def keys(self) -> Iterable[str]:
-        for node in self._nodes.values():
-            yield from node.store
 
     def peer_of(self, key: str) -> int:
         return self.surrogate_root(hash_key(key, self.id_bits))
-
-    def peer_loads(self) -> dict[int, int]:
-        return {nid: len(node.store) for nid, node in self._nodes.items()}
-
-    @property
-    def n_peers(self) -> int:
-        return len(self._nodes)

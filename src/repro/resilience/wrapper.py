@@ -42,11 +42,12 @@ simulated time (the wrapper then only reads it).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, TypeVar
+from typing import Any, Callable, TypeVar
 
 import numpy as np
 
 from repro.dht.base import DHT
+from repro.dht.kernel import DelegatingDHT
 from repro.errors import CircuitOpenError, DHTError
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.policy import RetryPolicy
@@ -58,7 +59,7 @@ __all__ = ["ResilientDHT"]
 T = TypeVar("T")
 
 
-class ResilientDHT(DHT):
+class ResilientDHT(DelegatingDHT):
     """Compose retries, timeout budgets, and a circuit breaker over a DHT.
 
     Args:
@@ -89,8 +90,7 @@ class ResilientDHT(DHT):
         rng: np.random.Generator | None = None,
         op_tick: float = 1.0,
     ) -> None:
-        super().__init__(inner.metrics)  # share the recorder: costs add up
-        self.inner = inner
+        super().__init__(inner)
         self.policy = policy or RetryPolicy()
         self._owns_clock = clock is None
         self.clock = clock or (breaker.clock if breaker is not None else Clock())
@@ -215,26 +215,5 @@ class ResilientDHT(DHT):
         self._gate(key)
         return self._with_retries(lambda: self.inner.remove(key))
 
-    def local_write(self, key: str, value: Any) -> None:
-        # Local disk writes involve no network: no retries, no breaker.
-        self.inner.local_write(key, value)
-
-    # ------------------------------------------------------------------
-    # Introspection (oracle access: never shielded, never charged)
-    # ------------------------------------------------------------------
-
-    def peek(self, key: str) -> Any | None:
-        return self.inner.peek(key)
-
-    def keys(self) -> Iterable[str]:
-        return self.inner.keys()
-
-    def peer_of(self, key: str) -> int:
-        return self.inner.peer_of(key)
-
-    def peer_loads(self) -> dict[int, int]:
-        return self.inner.peer_loads()
-
-    @property
-    def n_peers(self) -> int:
-        return self.inner.n_peers
+    # ``local_write`` involves no network (no retries, no breaker) and
+    # introspection is oracle access — both delegate via DelegatingDHT.

@@ -60,8 +60,8 @@ class TestCANDHT:
         dht = CANDHT(n_peers=40, seed=1)
         for i in range(200):
             key = f"k{i}"
-            node, hops = dht._route_key(key)
-            assert node.id == dht.peer_of(key)
+            owner, hops = dht.route(key)
+            assert owner == dht.peer_of(key)
             assert hops >= 1
 
     def test_put_get_remove(self):
@@ -75,7 +75,7 @@ class TestCANDHT:
         dht = CANDHT(n_peers=256, seed=4)
         total = 0
         for i in range(100):
-            _, hops = dht._route_key(f"k{i}")
+            _, hops = dht.route(f"k{i}")
             total += hops
         # CAN: O(d * n^(1/d)) = O(2 * 16) for d=2, n=256; generous bound
         assert total / 100 < 40

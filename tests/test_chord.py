@@ -16,8 +16,8 @@ class TestRouting:
         dht = ChordDHT(n_peers=50, seed=3)
         for i in range(300):
             key = f"key-{i}"
-            node, _ = dht._route_key(key)
-            assert node.id == dht.peer_of(key)
+            owner, _ = dht.route(key)
+            assert owner == dht.peer_of(key)
 
     def test_routing_from_every_start(self):
         dht = ChordDHT(n_peers=25, seed=1)
@@ -33,7 +33,7 @@ class TestRouting:
         total = 0
         n_keys = 200
         for i in range(n_keys):
-            _, hops = dht._route_key(f"k{i}")
+            _, hops = dht.route(f"k{i}")
             total += hops
         mean_hops = total / n_keys
         # Chord's bound: O(log N); allow a generous constant.
@@ -123,8 +123,8 @@ class TestMembership:
         dht.check_ring()
         # routing still agrees with the placement oracle
         for i in range(100):
-            node, _ = dht._route_key(f"x{i}")
-            assert node.id == dht.peer_of(f"x{i}")
+            owner, _ = dht.route(f"x{i}")
+            assert owner == dht.peer_of(f"x{i}")
 
 
 class TestValidation:

@@ -186,6 +186,101 @@ class TestSubstrateInterfaceRule:
         assert codes(lint_paths([pkg])) == []
 
 
+KERNEL_SRC = """\
+from base import DHT
+
+class SubstrateBase(DHT):
+    def put(self, key, value): ...
+    def get(self, key): ...
+    @property
+    def n_peers(self): return 1
+
+class DelegatingDHT(DHT):
+    def put(self, key, value): ...
+    def get(self, key): ...
+    @property
+    def n_peers(self): return 1
+"""
+
+CLEAN_KERNEL_SUBSTRATE = """\
+from kernel import SubstrateBase
+
+class CleanDHT(SubstrateBase):
+    def route(self, key): return 0, 1
+    def peer_of(self, key): return 0
+"""
+
+OVERRIDING_SUBSTRATE = """\
+from kernel import SubstrateBase
+
+class SneakyDHT(SubstrateBase):
+    def route(self, key): return 0, 1
+    def peer_of(self, key): return 0
+    def get(self, key): return None
+    def peer_loads(self): return {}
+"""
+
+INDIRECT_OVERRIDE = """\
+from clean import CleanDHT
+
+class GrandchildDHT(CleanDHT):
+    def put(self, key, value): ...
+"""
+
+KERNEL_WRAPPER = """\
+from kernel import DelegatingDHT
+
+class OverridingWrapper(DelegatingDHT):
+    def get(self, key): return None
+"""
+
+
+class TestKernelOverrideRule:
+    def _write_pkg(self, tmp_path, **files: str) -> Path:
+        pkg = tmp_path / "dht"
+        pkg.mkdir()
+        (pkg / "base.py").write_text(BASE_SRC)
+        (pkg / "kernel.py").write_text(KERNEL_SRC)
+        for name, src in files.items():
+            (pkg / f"{name}.py").write_text(src)
+        return pkg
+
+    def test_clean_substrate_passes(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, clean=CLEAN_KERNEL_SUBSTRATE)
+        assert codes(lint_paths([pkg], select=["LHT006"])) == []
+
+    def test_override_flagged(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, sneaky=OVERRIDING_SUBSTRATE)
+        violations = [
+            v for v in lint_paths([pkg]) if v.code == "LHT006"
+        ]
+        assert len(violations) == 1
+        assert "SneakyDHT" in violations[0].message
+        assert "get" in violations[0].message
+        assert "peer_loads" in violations[0].message
+
+    def test_indirect_subclass_flagged(self, tmp_path):
+        pkg = self._write_pkg(
+            tmp_path, clean=CLEAN_KERNEL_SUBSTRATE, grand=INDIRECT_OVERRIDE
+        )
+        violations = [
+            v for v in lint_paths([pkg]) if v.code == "LHT006"
+        ]
+        assert len(violations) == 1
+        assert "GrandchildDHT" in violations[0].message
+        assert "put" in violations[0].message
+
+    def test_wrappers_exempt(self, tmp_path):
+        # Wrappers subclass DelegatingDHT, not SubstrateBase: overriding
+        # routed operations is their whole purpose.
+        pkg = self._write_pkg(tmp_path, wrapper=KERNEL_WRAPPER)
+        assert codes(lint_paths([pkg], select=["LHT006"])) == []
+
+    def test_real_tree_is_clean(self):
+        src = Path(__file__).parent.parent / "src"
+        assert codes(lint_paths([src], select=["LHT006"])) == []
+
+
 class TestNoqaSuppression:
     def test_blanket_noqa(self, tmp_path):
         src = "def f(x=[]):  # noqa\n    return x\n"

@@ -38,14 +38,14 @@ class TestKademlia:
     def test_owner_matches_placement_oracle(self):
         dht = KademliaDHT(n_peers=40, seed=2)
         for i in range(100):
-            node, _ = dht._route_key(f"k{i}")
-            assert node.id == dht.peer_of(f"k{i}")
+            owner, _ = dht.route(f"k{i}")
+            assert owner == dht.peer_of(f"k{i}")
 
     def test_messages_scale_logarithmically(self):
         dht = KademliaDHT(n_peers=256, seed=3)
         total = 0
         for i in range(100):
-            _, messages = dht._route_key(f"k{i}")
+            _, messages = dht.route(f"k{i}")
             total += messages
         assert total / 100 <= 4 * math.log2(256)
 
@@ -77,8 +77,8 @@ class TestPastry:
         dht = PastryDHT(n_peers=60, seed=1)
         for i in range(200):
             key = f"k{i}"
-            node, _ = dht._route_key(key)
-            assert node.id == dht.peer_of(key)
+            owner, _ = dht.route(key)
+            assert owner == dht.peer_of(key)
 
     def test_put_get_remove(self):
         dht = PastryDHT(n_peers=30, seed=0)
@@ -91,7 +91,7 @@ class TestPastry:
         dht = PastryDHT(n_peers=256, seed=2)
         total = 0
         for i in range(100):
-            _, hops = dht._route_key(f"k{i}")
+            _, hops = dht.route(f"k{i}")
             total += hops
         # Pastry: O(log_16 N) ≈ 2 for 256 nodes; be generous.
         assert total / 100 <= 8

@@ -1,0 +1,236 @@
+"""Parametrized conformance suite over all substrates and wrappers.
+
+The kernel refactor's contract: any :class:`~repro.dht.base.DHT` — six
+substrates, four wrappers, and stacked wrapper combinations — satisfies
+the same observable behaviour, because storage semantics now live in one
+place (:mod:`repro.dht.kernel`).  This suite pins that contract per
+configuration:
+
+* put/get/remove round-trips (including overwrite and absent keys);
+* ``local_write`` places fresh keys at the responsible peer and charges
+  zero DHT-lookups;
+* the sorted-id cache stays coherent across join/leave/fail membership
+  changes (Chord and CAN, the dynamic overlays);
+* ``multi_get`` preserves key order and honours ``absorb_errors``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht import (
+    AccessLoggingDHT,
+    CANDHT,
+    ChordDHT,
+    FaultyDHT,
+    ReplicatedDHT,
+    SerializingDHT,
+)
+from repro.dht.base import DHT
+from repro.errors import DHTError
+from repro.experiments.common import SUBSTRATES, make_dht
+from repro.resilience import ResilientDHT
+
+N_PEERS = 16
+SEED = 7
+
+#: name -> factory over a freshly built substrate.
+WRAPPERS = {
+    "faulty": lambda inner: FaultyDHT(inner, seed=SEED),
+    "replicated": lambda inner: ReplicatedDHT(inner, n_replicas=2),
+    "serializing": SerializingDHT,
+    "accesslog": AccessLoggingDHT,
+    "resilient": ResilientDHT,
+}
+
+#: Stacked combinations exercised on top of single wrappers; order reads
+#: outermost-first, e.g. ``serializing+replicated`` is
+#: ``SerializingDHT(ReplicatedDHT(substrate))``.
+STACKS = {
+    "serializing+replicated": lambda inner: SerializingDHT(
+        ReplicatedDHT(inner, n_replicas=2)
+    ),
+    "resilient+faulty": lambda inner: ResilientDHT(
+        FaultyDHT(inner, seed=SEED)
+    ),
+    "accesslog+serializing+replicated": lambda inner: AccessLoggingDHT(
+        SerializingDHT(ReplicatedDHT(inner, n_replicas=2))
+    ),
+}
+
+CONFIGS = {
+    **{name: (name, None) for name in sorted(SUBSTRATES)},
+    **{
+        f"chord+{wname}": ("chord", wfactory)
+        for wname, wfactory in sorted(WRAPPERS.items())
+    },
+    **{
+        f"chord+{sname}": ("chord", sfactory)
+        for sname, sfactory in sorted(STACKS.items())
+    },
+}
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
+def dht(request) -> DHT:
+    substrate, wrapper = CONFIGS[request.param]
+    inner = make_dht(substrate, N_PEERS, SEED)
+    return wrapper(inner) if wrapper else inner
+
+
+class TestRoundTrips:
+    def test_put_get_remove(self, dht):
+        dht.put("alpha", {"v": 1})
+        dht.put("beta", [2, 3])
+        assert dht.get("alpha") == {"v": 1}
+        assert dht.get("beta") == [2, 3]
+        assert dht.get("gamma") is None
+        assert dht.remove("alpha") == {"v": 1}
+        assert dht.get("alpha") is None
+        assert dht.remove("alpha") is None
+
+    def test_overwrite(self, dht):
+        dht.put("k", "old")
+        dht.put("k", "new")
+        assert dht.get("k") == "new"
+
+    def test_contains_via_peek(self, dht):
+        assert "k" not in dht
+        dht.put("k", 1)
+        assert "k" in dht
+        assert dht.peek("missing") is None
+
+    def test_keys_enumerates_stored(self, dht):
+        for i in range(10):
+            dht.put(f"k{i}", i)
+        assert set(dht.keys()) == {f"k{i}" for i in range(10)}
+
+
+class TestLocalWrite:
+    def test_fresh_key_lands_at_responsible_peer(self, dht):
+        dht.local_write("fresh", 42)
+        assert dht.peek("fresh") == 42
+
+    def test_updates_existing_key_in_place(self, dht):
+        dht.put("k", "routed")
+        dht.local_write("k", "rewritten")
+        assert dht.get("k") == "rewritten"
+
+    def test_charges_zero_lookups(self, dht):
+        dht.put("k", 1)  # the put itself is charged
+        before = dht.metrics.snapshot()
+        dht.local_write("k", 2)
+        dht.local_write("fresh", 3)
+        spent = dht.metrics.since(before)
+        assert spent.dht_lookups == 0
+        assert spent.hops == 0
+
+
+class TestMultiGet:
+    def test_order_matches_keys(self, dht):
+        keys = [f"m{i}" for i in range(8)]
+        for i, key in enumerate(keys):
+            dht.put(key, i)
+        request = [keys[5], "absent", keys[0], keys[7]]
+        assert dht.multi_get(request) == [5, None, 0, 7]
+
+    def test_empty_round(self, dht):
+        assert dht.multi_get([]) == []
+
+    def test_each_key_charged_once(self, dht):
+        keys = [f"m{i}" for i in range(6)]
+        for key in keys:
+            dht.put(key, 1)
+        before = dht.metrics.snapshot()
+        dht.multi_get(keys)
+        spent = dht.metrics.since(before)
+        # Replicated stacks may probe extra replicas on a miss, but a
+        # batched round charges at least one routed get per key and
+        # nothing is free.
+        assert spent.dht_lookups >= len(keys)
+
+
+class TestAbsorbErrors:
+    def test_errors_absorbed_per_key(self):
+        inner = make_dht("local", N_PEERS, SEED)
+        flaky = FaultyDHT(inner, get_drop_rate=1.0, seed=SEED)
+        flaky.put("k", 1)
+        # A dropped get returns None (reply lost), never raises.
+        assert flaky.multi_get(["k", "k"], absorb_errors=True) == [None, None]
+
+    def test_typed_error_propagates_without_flag(self):
+        class ExplodingDHT(SerializingDHT):
+            def get(self, key):
+                raise DHTError("injected routing failure")
+
+        exploding = ExplodingDHT(make_dht("local", N_PEERS, SEED))
+        with pytest.raises(DHTError):
+            exploding.multi_get(["a", "b"])
+        assert exploding.multi_get(["a", "b"], absorb_errors=True) == [
+            None,
+            None,
+        ]
+
+
+class TestCacheInvalidation:
+    """Membership changes must invalidate the kernel's sorted-id cache."""
+
+    def _assert_coherent(self, dht):
+        assert dht.node_ids == sorted(dht.node_ids)
+        assert len(dht.node_ids) == dht.n_peers
+        assert set(dht.peer_loads()) == set(dht.node_ids)
+
+    def test_chord_join_leave_fail(self):
+        dht = ChordDHT(n_peers=12, seed=SEED)
+        for i in range(30):
+            dht.put(f"k{i}", i)
+        self._assert_coherent(dht)
+
+        joined = dht.join()
+        assert joined in dht.node_ids
+        self._assert_coherent(dht)
+        assert all(dht.get(f"k{i}") == i for i in range(30))
+
+        victim = next(nid for nid in dht.node_ids if nid != joined)
+        dht.leave(victim, graceful=True)
+        assert victim not in dht.node_ids
+        self._assert_coherent(dht)
+        assert all(dht.get(f"k{i}") == i for i in range(30))
+
+        crashed = dht.node_ids[0]
+        dht.fail(crashed)
+        assert crashed not in dht.node_ids
+        self._assert_coherent(dht)
+        # Routing still works; keys on the crashed node are lost, the
+        # rest survive.
+        dht.stabilize_all(rounds=2)
+        dht.check_ring()
+
+    def test_can_join_leave(self):
+        dht = CANDHT(n_peers=10, seed=SEED)
+        for i in range(30):
+            dht.put(f"k{i}", i)
+        self._assert_coherent(dht)
+
+        joined = dht.join()
+        assert joined in dht.node_ids
+        self._assert_coherent(dht)
+        assert all(dht.get(f"k{i}") == i for i in range(30))
+
+        for victim in list(dht.node_ids):
+            if victim != joined and dht.leave(victim):
+                assert victim not in dht.node_ids
+                break
+        self._assert_coherent(dht)
+        dht.check_partition()
+        assert all(dht.get(f"k{i}") == i for i in range(30))
+
+    def test_peer_of_tracks_membership(self):
+        dht = ChordDHT(n_peers=12, seed=SEED)
+        key = "tracked"
+        owner_before = dht.peer_of(key)
+        # Crash the owner: responsibility must move to a live peer.
+        dht.fail(owner_before)
+        owner_after = dht.peer_of(key)
+        assert owner_after != owner_before
+        assert owner_after in dht.node_ids

@@ -32,7 +32,7 @@ class TestTapestryRouting:
             owner = dht.peer_of(key)
             key_id = hash_key(key, dht.id_bits)
             for start in list(dht._nodes)[::7]:
-                found, _ = dht.route(start, key_id)
+                found, _ = dht.route_id(start, key_id)
                 assert found == owner, key
 
     def test_put_get_remove(self):
@@ -46,7 +46,7 @@ class TestTapestryRouting:
         dht = TapestryDHT(n_peers=256, seed=3)
         total = 0
         for i in range(100):
-            _, hops = dht._route_key(f"k{i}")
+            _, hops = dht.route(f"k{i}")
             total += hops
         # O(log_16 N) ≈ 2 for 256 nodes; generous bound.
         assert total / 100 <= 2 * math.log2(256) / 4 + 3
