@@ -2,8 +2,10 @@
 
 Subcommands:
 
-* ``lint`` — the repo-specific AST linter (also available directly as
-  ``python -m repro.devtools.lint``);
+* ``lint`` — the repo-specific per-file AST linter (also available
+  directly as ``python -m repro.devtools.lint``);
+* ``analyze`` — the whole-program contract analyzer: import graph +
+  call graph rules LHT007+ (also ``python -m repro.devtools.flow``);
 * ``determinism`` — the same-seed trace-diff harness (also
   ``python -m repro.devtools.determinism``);
 * ``sanitize`` — run a seeded workload with the runtime sanitizer active
@@ -17,6 +19,7 @@ import sys
 from typing import Sequence
 
 from repro.devtools import determinism as _determinism
+from repro.devtools import flow as _flow
 from repro.devtools import lint as _lint
 
 
@@ -71,17 +74,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in {"-h", "--help"}:
         print(__doc__)
-        print("usage: python -m repro.devtools {lint,determinism,sanitize} ...")
+        print(
+            "usage: python -m repro.devtools "
+            "{lint,analyze,determinism,sanitize} ..."
+        )
         return 0
     command, rest = argv[0], argv[1:]
     if command == "lint":
         return _lint.main(rest)
+    if command == "analyze":
+        return _flow.main(rest)
     if command == "determinism":
         return _determinism.main(rest)
     if command == "sanitize":
         return _run_sanitize(rest)
-    print(f"unknown subcommand: {command!r} (expected lint, determinism, "
-          f"or sanitize)")
+    print(f"unknown subcommand: {command!r} (expected lint, analyze, "
+          f"determinism, or sanitize)")
     return 2
 
 

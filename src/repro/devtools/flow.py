@@ -1,0 +1,1469 @@
+"""Whole-program contract analyzer (``python -m repro.devtools analyze``).
+
+The per-file linter (:mod:`repro.devtools.lint`, LHT001-LHT006) sees one
+module at a time, so any contract that spans modules escapes it: a
+wall-clock read hidden one helper function away, a peer store mutated
+from an experiment, a broad handler swallowing a typed
+:class:`~repro.errors.DHTError` three calls above the substrate that
+raised it.  This module parses the whole source tree **once**, builds a
+module import graph and a conservative name-resolution call graph, and
+checks the cross-module contracts the reproduction's figures rest on.
+
+Rule catalogue (LHT007+, continuing the linter's numbering; rationale in
+``docs/static_analysis.md``):
+
+========  ==============================================================
+Code      Rule
+========  ==============================================================
+LHT007    Transitive hermeticity — no chain of project-internal calls
+          from a deterministic package reaches a wall-clock or
+          global-randomness sink hiding in a non-deterministic module
+          (closes the helper-function hole in LHT001/LHT002).
+LHT008    Kernel encapsulation — the :class:`repro.dht.kernel.PeerStore`
+          storage surface (``store_of``, ``find_holder``, ``all_keys``,
+          ``loads``, private attributes) is touched only from the kernel
+          module itself; the membership surface (``add_peer``,
+          ``remove_peer``, ``is_live``, ``sorted_ids``) only from
+          substrate modules inside ``repro.dht``.
+LHT009    Route purity — substrate ``route``/``route_point``/``route_id``
+          implementations (and every helper they reach) must not mutate
+          peer stores, charge metrics, or call kernel storage methods:
+          the kernel charges each routed operation exactly once.
+LHT010    Exception-flow completeness — a broad handler (bare ``except``,
+          ``Exception``, ``BaseException``) around code that can raise a
+          typed :class:`~repro.errors.DHTError` must re-raise; a typed
+          DHT-error handler must not be a silent ``pass``.  Degraded
+          results are data (the PRESENT/ABSENT/UNREACHABLE trichotomy),
+          never silently absorbed exceptions.
+LHT011    Parallel-engine safety — a callable shipped to a
+          multiprocessing pool (``--jobs N`` spawn workers) must be a
+          module-level function, and nothing it transitively calls may
+          rebind a global or mutate another module's module-level state:
+          spawn workers re-import fresh modules, so such state silently
+          diverges between ``--jobs 1`` and ``--jobs N``.
+========  ==============================================================
+
+Violations support the same suppression comments as the linter
+(``# noqa`` / ``# noqa: LHT007``) and the same ``--select`` /
+``--ignore`` filters; ``--format json`` emits a machine-readable report
+that includes the analysis wall time (so CI logs expose a pathological
+slowdown).
+
+Call-graph construction caveats
+-------------------------------
+
+Resolution is *conservative by name*, entirely static, stdlib-``ast``
+only.  It can see:
+
+* plain calls to module-level functions, through ``import`` /
+  ``from ... import`` aliases and package-relative imports;
+* ``self.method(...)`` through the class's statically declared base
+  chain (simple-name matching, like LHT005/LHT006);
+* attribute chains rooted at imported modules (``mod.helper()``);
+* well-known receiver names (``*.metrics``, ``*.peers``, ``dht``/
+  ``inner``) for the contract rules that key on them.
+
+It cannot see: calls through containers or variables (``FUNCS[name]()``,
+``f = g; f()``), ``getattr`` dispatch, callbacks passed as arguments, or
+monkeypatching.  Dynamic dispatch therefore never *creates* findings
+(no false positives from it) but can hide a path (false negatives); the
+test suite pins both directions with synthetic fixtures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint import (
+    DETERMINISTIC_PACKAGES,
+    Violation,
+    _NUMPY_RANDOM_ALLOWED,
+    _WALL_CLOCK_CALLS,
+    _apply_noqa,
+    _is_test_file,
+    _iter_python_files,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ANALYZER_RULES",
+    "Program",
+    "analyze_paths",
+    "build_program",
+    "main",
+]
+
+#: Rule code -> one-line description (the user-facing catalogue).
+ANALYZER_RULES: dict[str, str] = {
+    "LHT007": "transitive wall-clock/randomness sink reachable from a "
+    "deterministic package",
+    "LHT008": "peer-store surface touched outside its owning layer",
+    "LHT009": "route implementation mutates stores, charges metrics, or "
+    "calls kernel storage",
+    "LHT010": "exception handler swallows typed DHT errors",
+    "LHT011": "process-pool worker rebinds or mutates cross-module state",
+}
+
+#: PeerStore methods/attributes only the kernel module may touch.
+PEERSTORE_STORAGE_SURFACE = frozenset(
+    {"store_of", "find_holder", "all_keys", "loads", "_stores",
+     "_sorted_cache"}
+)
+
+#: PeerStore membership methods substrates (repro.dht.*) may use.
+PEERSTORE_MEMBERSHIP_SURFACE = frozenset(
+    {"add_peer", "remove_peer", "is_live", "sorted_ids"}
+)
+
+#: Kernel-owned storage methods a route path may never call on self.
+KERNEL_STORAGE_METHODS = frozenset(
+    {"put", "get", "remove", "peek", "local_write"}
+)
+
+#: Substrate routing entry points checked for purity (LHT009).
+ROUTE_METHODS = frozenset({"route", "route_point", "route_id"})
+
+#: DHT interface methods that are routed (may raise typed DHTError).
+ROUTED_OP_NAMES = frozenset(
+    {"put", "get", "remove", "multi_get", "local_write"}
+)
+
+#: Receiver names conventionally bound to a DHT in this codebase.
+DHT_RECEIVER_NAMES = frozenset({"dht", "_dht", "inner", "substrate"})
+
+#: repro.errors exception classes that are (or include) DHTError.
+DHT_ERROR_NAMES = frozenset(
+    {"DHTError", "NoSuchPeerError", "EmptyOverlayError", "RoutingError",
+     "CircuitOpenError"}
+)
+_REPRO_ERROR_NAMES = DHT_ERROR_NAMES | {"ReproError"}
+
+#: Process-pool fan-out methods whose first argument ships to workers.
+POOL_SHIP_METHODS = frozenset(
+    {"map", "map_async", "imap", "imap_unordered", "starmap",
+     "starmap_async", "apply", "apply_async", "submit"}
+)
+
+#: Method names that mutate the container they are called on.
+_CONTAINER_MUTATORS = frozenset(
+    {"append", "extend", "insert", "add", "update", "clear", "pop",
+     "popitem", "remove", "discard", "setdefault"}
+)
+
+#: Synthetic function name for a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+# ----------------------------------------------------------------------
+# Program model
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CallSite:
+    """One call expression, as resolved as static analysis allows."""
+
+    line: int
+    col: int
+    #: Fully qualified target: a project qualname, an external dotted
+    #: path (``time.time``), or ``None`` when resolution failed.
+    target: str | None
+    #: Whether ``target`` names a function parsed from the scanned tree.
+    project: bool
+    #: Method name for attribute calls (``x.m()`` -> ``m``).
+    method: str | None
+    #: Dotted receiver of an attribute call (``self.peers.store_of`` ->
+    #: ``("self", "peers")``); empty for plain-name calls.
+    receiver: tuple[str, ...]
+    #: True when an enclosing ``try`` catches DHT-typed errors, so a
+    #: raised DHTError would not escape this function.
+    guarded: bool
+    #: True when the call had no positional or keyword arguments.
+    no_args: bool
+
+
+@dataclass(slots=True)
+class _Handler:
+    line: int
+    col: int
+    bare: bool
+    type_names: tuple[str, ...]  # simple names of caught types
+    reraises: bool
+    pass_only: bool
+
+
+@dataclass(slots=True)
+class _TryInfo:
+    handlers: list[_Handler]
+    body_calls: list[CallSite] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class FunctionNode:
+    """One function/method (or a module's top-level statements)."""
+
+    qualname: str
+    module: str
+    cls: str | None
+    path: Path
+    line: int
+    calls: list[CallSite] = field(default_factory=list)
+    #: Direct hermeticity sinks: (line, col, kind, dotted callable).
+    sinks: list[tuple[int, int, str, str]] = field(default_factory=list)
+    #: ``raise`` statements of DHT-typed exceptions.
+    raises_dht: bool = False
+    trys: list[_TryInfo] = field(default_factory=list)
+    #: Names of functions defined *inside* this one (closure hazards).
+    local_defs: set[str] = field(default_factory=set)
+    #: ``global`` declarations: (line, col, names).
+    global_decls: list[tuple[int, int, str]] = field(default_factory=list)
+    #: Mutations of another module's module-level state:
+    #: (line, col, dotted description).
+    foreign_mutations: list[tuple[int, int, str]] = field(
+        default_factory=list
+    )
+    #: Route-purity offenses: (line, col, description).
+    purity_offenses: list[tuple[int, int, str]] = field(default_factory=list)
+    #: Pool fan-out sites: (line, col, worker descriptor).
+    ship_sites: list[tuple[int, int, "_Worker"]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _Worker:
+    kind: str  # "lambda" | "bound" | "closure" | "name" | "opaque"
+    name: str | None  # resolvable dotted name for kind == "name"
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    qualname: str
+    module: str
+    path: Path
+    line: int
+    #: Resolved base references: project class qualnames, or
+    #: ``"?Name"`` markers for bases outside the scanned tree.
+    bases: list[str] = field(default_factory=list)
+    #: method name -> function qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    name: str  # primary dotted name
+    path: Path
+    tree: ast.Module
+    source_lines: list[str]
+    deterministic: bool
+    #: local alias -> dotted module path.
+    import_modules: dict[str, str] = field(default_factory=dict)
+    #: local alias -> dotted object path (module.attr).
+    import_objects: dict[str, str] = field(default_factory=dict)
+    #: module-level def/class simple names.
+    toplevel: set[str] = field(default_factory=set)
+
+
+class Program:
+    """The parsed whole-program view: modules, classes, call graph."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: every accepted dotted spelling -> primary module name.
+        self.aliases: dict[str, str] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionNode] = {}
+        self.parse_errors: list[Violation] = []
+
+    # -- name resolution ------------------------------------------------
+
+    def canonical_module(self, dotted: str) -> tuple[str, str] | None:
+        """Split ``dotted`` into (primary module name, remainder)."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:end])
+            primary = self.aliases.get(prefix)
+            if primary is not None:
+                return primary, ".".join(parts[end:])
+        return None
+
+    def project_target(self, dotted: str) -> str | None:
+        """Project function qualname ``dotted`` refers to, if any.
+
+        A dotted path naming a scanned class resolves to its
+        ``__init__`` (constructing an object runs it).
+        """
+        hit = self.canonical_module(dotted)
+        if hit is None:
+            return None
+        primary, rest = hit
+        if not rest:
+            return None
+        qual = f"{primary}.{rest}"
+        if qual in self.functions:
+            return qual
+        if qual in self.classes:
+            init = self.classes[qual].methods.get("__init__")
+            return init
+        return None
+
+    def mro_lookup(self, class_qual: str, method: str) -> str | None:
+        """Find ``method`` on a class or its project-visible ancestors."""
+        seen: set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop()
+            if qual in seen or qual.startswith("?"):
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(info.bases)
+        return None
+
+    def class_reaches(self, class_qual: str, simple_name: str) -> bool:
+        """Whether the base chain reaches a class named ``simple_name``.
+
+        Matching is by simple name (like LHT005/LHT006): the scanned set
+        may spell ``repro.dht.kernel.SubstrateBase`` or a fixture's
+        ``kernel.SubstrateBase``.
+        """
+        seen: set[str] = set()
+        stack = list(self.classes[class_qual].bases)
+        while stack:
+            ref = stack.pop()
+            if ref in seen:
+                continue
+            seen.add(ref)
+            name = ref[1:] if ref.startswith("?") else ref.split(".")[-1]
+            if name == simple_name:
+                return True
+            if not ref.startswith("?") and ref in self.classes:
+                stack.extend(self.classes[ref].bases)
+        return False
+
+    def call_edges(self, qualname: str) -> Iterable[tuple[CallSite, str]]:
+        """Project-internal call edges out of one function."""
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return
+        for call in fn.calls:
+            if call.project and call.target is not None:
+                yield call, call.target
+
+
+# ----------------------------------------------------------------------
+# Parsing: modules, imports, classes
+# ----------------------------------------------------------------------
+
+
+def _module_names(path: Path, root: Path) -> list[str]:
+    """Dotted names a file answers to: scan-root-relative, and (when the
+    path contains a ``repro`` package) the installed ``repro.*`` name."""
+    names = []
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        if parts:
+            names.append(".".join(parts))
+    except ValueError:
+        pass
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        installed = ".".join(parts[parts.index("repro"):])
+        if installed and installed not in names:
+            names.append(installed)
+    if not names:
+        names.append(path.stem)
+    return names
+
+
+def _in_deterministic_package(path: Path) -> bool:
+    return any(part in DETERMINISTIC_PACKAGES for part in path.parts[:-1])
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    """Fill the module's alias tables (function-level imports included)."""
+    pkg_parts = info.name.split(".")
+    is_package = info.path.name == "__init__.py"
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.import_modules[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    info.import_modules[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = pkg_parts if is_package else pkg_parts[:-1]
+                base = base[: len(base) - (node.level - 1)] if node.level > 1 else base
+                module = ".".join(base + ([node.module] if node.module else []))
+            else:
+                module = node.module or ""
+            if not module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.import_objects[local] = f"{module}.{alias.name}"
+
+
+def _resolve_dotted(info: ModuleInfo, expr: ast.expr) -> str | None:
+    """Dotted path a ``Name``/``Attribute`` chain denotes, if resolvable."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    parts.reverse()
+    if root in info.import_objects:
+        return ".".join([info.import_objects[root], *parts])
+    if root in info.import_modules:
+        return ".".join([info.import_modules[root], *parts])
+    if root in info.toplevel:
+        return ".".join([info.name, root, *parts])
+    if not parts:
+        return root  # builtins like Exception
+    return None
+
+
+def _collect_classes(program: Program, info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        qual = f"{info.name}.{node.name}"
+        cls = ClassInfo(
+            qualname=qual, module=info.name, path=info.path, line=node.lineno
+        )
+        for base in node.bases:
+            dotted = _resolve_dotted(info, base)
+            resolved: str | None = None
+            if dotted is not None:
+                hit = program.canonical_module(dotted)
+                if hit is not None and hit[1]:
+                    # Classes of later modules register after this pass,
+                    # so accept any in-tree dotted path as a class ref.
+                    resolved = f"{hit[0]}.{hit[1]}"
+            if resolved is None:
+                name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+                if name is None:
+                    continue
+                resolved = f"?{name}"
+            cls.bases.append(resolved)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = f"{qual}.{item.name}"
+        program.classes[qual] = cls
+
+
+# ----------------------------------------------------------------------
+# Function-body extraction
+# ----------------------------------------------------------------------
+
+
+def _sink_kind(dotted: str, no_args: bool) -> str | None:
+    """Hermeticity sink classification for an external call target."""
+    if dotted in _WALL_CLOCK_CALLS:
+        return "wall-clock"
+    if dotted.startswith("random.") and dotted.count(".") == 1:
+        return "global-randomness"
+    for prefix in ("numpy.random.", "np.random."):
+        if dotted.startswith(prefix):
+            attr = dotted[len(prefix):].split(".")[0]
+            if attr not in _NUMPY_RANDOM_ALLOWED:
+                return "global-randomness"
+            if attr == "default_rng" and no_args:
+                return "global-randomness"
+    return None
+
+
+class _FunctionExtractor(ast.NodeVisitor):
+    """Collect calls, sinks, raises, trys, and mutations of one function.
+
+    Nested function/lambda bodies are flattened into the enclosing
+    function: their behavior runs under its name (or ships with it to a
+    worker), which is exactly the granularity the contract rules need.
+    """
+
+    def __init__(
+        self, program: Program, info: ModuleInfo, fn: FunctionNode
+    ) -> None:
+        self.program = program
+        self.info = info
+        self.fn = fn
+        self._try_stack: list[tuple[_TryInfo, bool]] = []
+        self._depth = 0
+
+    # -- helpers -------------------------------------------------------
+
+    def _resolve_call(
+        self, func: ast.expr
+    ) -> tuple[str | None, bool, str | None, tuple[str, ...]]:
+        """(target, is_project, method, receiver) for a call's func."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        parts.reverse()
+        if not isinstance(node, ast.Name):
+            return None, False, parts[-1] if parts else None, ()
+        root = node.id
+        if not parts:  # plain-name call
+            dotted = _resolve_dotted(self.info, ast.Name(id=root, ctx=ast.Load()))
+            if dotted is None or dotted == root and root not in self.info.toplevel:
+                return None, False, None, ()
+            target = self.program.project_target(dotted)
+            if target is not None:
+                return target, True, None, ()
+            return dotted, False, None, ()
+        if root == "self" and self.fn.cls is not None:
+            if len(parts) == 1:
+                target = self.program.mro_lookup(self.fn.cls, parts[0])
+                return target, target is not None, parts[0], ("self",)
+            return None, False, parts[-1], ("self", *parts[:-1])
+        dotted = _resolve_dotted(self.info, func)
+        if dotted is not None:
+            target = self.program.project_target(dotted)
+            if target is not None:
+                return target, True, parts[-1], (root, *parts[:-1])
+            return dotted, False, parts[-1], (root, *parts[:-1])
+        return None, False, parts[-1], (root, *parts[:-1])
+
+    def _guarded(self) -> bool:
+        for try_info, in_body in self._try_stack:
+            if in_body and any(
+                h.bare
+                or set(h.type_names)
+                & (_REPRO_ERROR_NAMES | {"Exception", "BaseException"})
+                for h in try_info.handlers
+            ):
+                return True
+        return False
+
+    def _receiver_of_target(self, expr: ast.expr) -> tuple[str, ...]:
+        """Dotted chain under a Subscript/Attribute store target."""
+        parts: list[str] = []
+        node = expr
+        while True:
+            if isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Name):
+                parts.append(node.id)
+                break
+            else:
+                return ()
+        parts.reverse()
+        return tuple(parts)
+
+    def _foreign_module_attr(self, chain: tuple[str, ...]) -> str | None:
+        """``module.NAME`` description if the chain's root resolves to a
+        *different* scanned module's top-level binding."""
+        if not chain:
+            return None
+        root = chain[0]
+        base = self.info.import_modules.get(root) or (
+            self.info.import_objects.get(root)
+        )
+        if base is None:
+            return None
+        hit = self.program.canonical_module(base)
+        if hit is None:
+            return None
+        primary, rest = hit
+        if primary == self.info.name:
+            return None
+        if rest:
+            attr = rest.split(".")[0]
+        elif len(chain) >= 2:  # the alias names the module itself
+            attr = chain[1]
+        else:
+            return None
+        return f"{primary}.{attr}"
+
+    # -- visitors ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.fn.local_defs.add(node.name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.fn.global_decls.append(
+            (node.lineno, node.col_offset + 1, ", ".join(node.names))
+        )
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if exc is not None:
+            name = (
+                exc.attr
+                if isinstance(exc, ast.Attribute)
+                else exc.id if isinstance(exc, ast.Name) else None
+            )
+            if name in DHT_ERROR_NAMES:
+                self.fn.raises_dht = True
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        handlers = []
+        for handler in node.handlers:
+            names: list[str] = []
+            bare = handler.type is None
+            types = []
+            if isinstance(handler.type, ast.Tuple):
+                types = list(handler.type.elts)
+            elif handler.type is not None:
+                types = [handler.type]
+            for texpr in types:
+                if isinstance(texpr, ast.Attribute):
+                    names.append(texpr.attr)
+                elif isinstance(texpr, ast.Name):
+                    names.append(texpr.id)
+            body = handler.body
+            reraises = any(
+                isinstance(n, ast.Raise) for stmt in body for n in ast.walk(stmt)
+            )
+            pass_only = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in body
+            )
+            handlers.append(
+                _Handler(
+                    line=handler.lineno,
+                    col=handler.col_offset + 1,
+                    bare=bare,
+                    type_names=tuple(names),
+                    reraises=reraises,
+                    pass_only=pass_only,
+                )
+            )
+        try_info = _TryInfo(handlers=handlers)
+        self.fn.trys.append(try_info)
+        self._try_stack.append((try_info, True))
+        for stmt in node.body:
+            self.visit(stmt)
+        self._try_stack.pop()
+        for handler in node.handlers:
+            for stmt in handler.body:
+                self.visit(stmt)
+        for stmt in [*node.orelse, *node.finalbody]:
+            self.visit(stmt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target, is_project, method, receiver = self._resolve_call(node.func)
+        call = CallSite(
+            line=node.lineno,
+            col=node.col_offset + 1,
+            target=target,
+            project=is_project,
+            method=method,
+            receiver=receiver,
+            guarded=self._guarded(),
+            no_args=not node.args and not node.keywords,
+        )
+        self.fn.calls.append(call)
+        for try_info, in_body in self._try_stack:
+            if in_body:
+                try_info.body_calls.append(call)
+
+        if target is not None and not is_project:
+            kind = _sink_kind(target, call.no_args)
+            if kind is not None:
+                self.fn.sinks.append((call.line, call.col, kind, target))
+
+        # Route purity: metrics charging, kernel storage, store access.
+        if receiver and receiver[-1] == "metrics" and method is not None:
+            self.fn.purity_offenses.append(
+                (call.line, call.col,
+                 f"charges metrics via {'.'.join(receiver)}.{method}()")
+            )
+        if (
+            receiver == ("self",)
+            and method in KERNEL_STORAGE_METHODS
+        ):
+            self.fn.purity_offenses.append(
+                (call.line, call.col,
+                 f"calls kernel storage method self.{method}()")
+            )
+        if (
+            receiver
+            and receiver[-1] == "peers"
+            and method in PEERSTORE_STORAGE_SURFACE
+        ):
+            self.fn.purity_offenses.append(
+                (call.line, call.col,
+                 f"reads/writes peer stores via "
+                 f"{'.'.join(receiver)}.{method}()")
+            )
+        if (
+            receiver
+            and receiver[-1] == "store"
+            and method in _CONTAINER_MUTATORS
+        ):
+            self.fn.purity_offenses.append(
+                (call.line, call.col,
+                 f"mutates a peer store via {'.'.join(receiver)}.{method}()")
+            )
+
+        # Parallel-engine safety: container mutation of foreign globals,
+        # and pool fan-out sites.
+        if method in _CONTAINER_MUTATORS and receiver:
+            foreign = self._foreign_module_attr(receiver)
+            if foreign is not None:
+                self.fn.foreign_mutations.append(
+                    (call.line, call.col, f"{foreign}.{method}()")
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in POOL_SHIP_METHODS
+            and node.args
+        ):
+            self.fn.ship_sites.append(
+                (node.lineno, node.col_offset + 1, self._worker_of(node.args[0]))
+            )
+        self.generic_visit(node)
+
+    def _worker_of(self, arg: ast.expr) -> _Worker:
+        if isinstance(arg, ast.Lambda):
+            return _Worker("lambda", None)
+        if isinstance(arg, ast.Attribute):
+            root = arg.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id == "self":
+                return _Worker("bound", arg.attr)
+            dotted = _resolve_dotted(self.info, arg)
+            if dotted is not None:
+                return _Worker("name", dotted)
+            return _Worker("opaque", arg.attr)
+        if isinstance(arg, ast.Name):
+            if arg.id in self.fn.local_defs:
+                return _Worker("closure", arg.id)
+            dotted = _resolve_dotted(self.info, arg)
+            if dotted is not None:
+                return _Worker("name", dotted)
+            return _Worker("opaque", arg.id)
+        return _Worker("opaque", None)
+
+    def _record_store_target(self, target: ast.expr) -> None:
+        chain = self._receiver_of_target(target)
+        if not chain:
+            return
+        if isinstance(target, ast.Subscript) or isinstance(target, ast.Attribute):
+            if "store" in chain[1:] or chain[-1] == "store":
+                self.fn.purity_offenses.append(
+                    (target.lineno, target.col_offset + 1,
+                     f"mutates a peer store via {'.'.join(chain)}")
+                )
+            foreign = self._foreign_module_attr(chain)
+            if foreign is not None:
+                self.fn.foreign_mutations.append(
+                    (target.lineno, target.col_offset + 1, foreign)
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store_target(node.target)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# Program construction
+# ----------------------------------------------------------------------
+
+
+def build_program(paths: Sequence[Path | str]) -> Program:
+    """Parse every Python file under ``paths`` into a :class:`Program`.
+
+    Test modules (``tests/`` directories, ``test_*.py``, ``conftest.py``)
+    are excluded: the contracts bind library code only.
+    """
+    resolved = [Path(p) for p in paths]
+    for path in resolved:
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+    program = Program()
+    infos: list[ModuleInfo] = []
+    for file in _iter_python_files(resolved):
+        if _is_test_file(file):
+            continue
+        root = next((p for p in resolved if p.is_dir()), file.parent)
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except OSError as exc:
+            program.parse_errors.append(
+                Violation(str(file), 1, 1, "E902", f"cannot read file: {exc}")
+            )
+            continue
+        except SyntaxError as exc:
+            program.parse_errors.append(
+                Violation(
+                    str(file), exc.lineno or 1, (exc.offset or 0) + 1,
+                    "E999", f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        names = _module_names(file, root)
+        info = ModuleInfo(
+            name=names[0],
+            path=file,
+            tree=tree,
+            source_lines=source.splitlines(),
+            deterministic=_in_deterministic_package(file),
+        )
+        for name in names:
+            program.aliases.setdefault(name, info.name)
+        program.modules[info.name] = info
+        infos.append(info)
+
+    # Pass 2: imports and top-level names (alias table must be complete).
+    for info in infos:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                info.toplevel.add(node.name)
+        _collect_imports(info)
+    # Pass 3: classes (bases resolve through the alias table).
+    for info in infos:
+        _collect_classes(program, info)
+    # Pass 4: function registry (so calls can resolve to any function).
+    for info in infos:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{info.name}.{node.name}"
+                program.functions[qual] = FunctionNode(
+                    qualname=qual, module=info.name, cls=None,
+                    path=info.path, line=node.lineno,
+                )
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{info.name}.{node.name}"
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        qual = f"{cls_qual}.{item.name}"
+                        program.functions[qual] = FunctionNode(
+                            qualname=qual, module=info.name, cls=cls_qual,
+                            path=info.path, line=item.lineno,
+                        )
+        body_qual = f"{info.name}.{MODULE_BODY}"
+        program.functions[body_qual] = FunctionNode(
+            qualname=body_qual, module=info.name, cls=None,
+            path=info.path, line=1,
+        )
+    # Pass 5: extract bodies.
+    for info in infos:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = program.functions[f"{info.name}.{node.name}"]
+                extractor = _FunctionExtractor(program, info, fn)
+                for stmt in node.body:
+                    extractor.visit(stmt)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        fn = program.functions[
+                            f"{info.name}.{node.name}.{item.name}"
+                        ]
+                        extractor = _FunctionExtractor(program, info, fn)
+                        for stmt in item.body:
+                            extractor.visit(stmt)
+            else:
+                fn = program.functions[f"{info.name}.{MODULE_BODY}"]
+                _FunctionExtractor(program, info, fn).visit(node)
+    return program
+
+
+# ----------------------------------------------------------------------
+# Dataflow fixpoints
+# ----------------------------------------------------------------------
+
+
+def _taint_map(program: Program) -> dict[str, tuple[str | None, str, str]]:
+    """qualname -> (next hop, sink kind, sink dotted) for every function
+    from which a hermeticity sink is reachable via project calls."""
+    taint: dict[str, tuple[str | None, str, str]] = {}
+    worklist: list[str] = []
+    for qual, fn in program.functions.items():
+        if fn.sinks:
+            _, _, kind, dotted = fn.sinks[0]
+            taint[qual] = (None, kind, dotted)
+            worklist.append(qual)
+    reverse: dict[str, list[str]] = {}
+    for qual, fn in program.functions.items():
+        for call in fn.calls:
+            if call.project and call.target is not None:
+                reverse.setdefault(call.target, []).append(qual)
+    while worklist:
+        callee = worklist.pop()
+        _, kind, dotted = taint[callee]
+        for caller in reverse.get(callee, ()):
+            if caller not in taint:
+                taint[caller] = (callee, kind, dotted)
+                worklist.append(caller)
+    return taint
+
+
+def _taint_chain(
+    taint: dict[str, tuple[str | None, str, str]], qual: str
+) -> str:
+    links = [qual]
+    cursor: str | None = qual
+    while cursor is not None:
+        nxt, _, dotted = taint[cursor]
+        if nxt is None:
+            links.append(f"{dotted}()")
+            break
+        links.append(nxt)
+        cursor = nxt
+    if len(links) > 5:
+        links = links[:2] + ["..."] + links[-2:]
+    return " -> ".join(links)
+
+
+def _may_raise_dht(program: Program) -> set[str]:
+    """Functions from which a typed DHTError can escape (conservative)."""
+    may_raise: set[str] = set()
+    for qual, fn in program.functions.items():
+        if fn.raises_dht:
+            may_raise.add(qual)
+        elif fn.cls is not None and qual.split(".")[-1] in ROUTED_OP_NAMES:
+            # A routed-op method on a DHT-derived class is presumed to
+            # raise: substrates raise RoutingError/NoSuchPeerError even
+            # when this concrete body does not spell a ``raise``.
+            if program.class_reaches(fn.cls, "DHT"):
+                may_raise.add(qual)
+    changed = True
+    while changed:
+        changed = False
+        for qual, fn in program.functions.items():
+            if qual in may_raise:
+                continue
+            for call in fn.calls:
+                if call.guarded:
+                    continue
+                if call.project and call.target in may_raise:
+                    may_raise.add(qual)
+                    changed = True
+                    break
+                if (
+                    call.method in ROUTED_OP_NAMES
+                    and call.receiver
+                    and call.receiver[-1] in DHT_RECEIVER_NAMES
+                ):
+                    may_raise.add(qual)
+                    changed = True
+                    break
+    return may_raise
+
+
+def _call_may_raise(call: CallSite, may_raise: set[str]) -> bool:
+    if call.project and call.target in may_raise:
+        return True
+    return bool(
+        call.method in ROUTED_OP_NAMES
+        and call.receiver
+        and call.receiver[-1] in DHT_RECEIVER_NAMES
+    )
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+
+def _check_hermeticity(program: Program) -> list[Violation]:
+    """LHT007: deterministic code must not reach a sink through helpers.
+
+    Only the *frontier* edge is reported — the call site where control
+    leaves the deterministic packages into a tainted helper — so one
+    hidden sink yields one actionable finding, not a cascade up every
+    caller.  Sinks directly inside a deterministic package stay
+    LHT001/LHT002 findings of the per-file linter.
+    """
+    taint = _taint_map(program)
+    violations: list[Violation] = []
+    for qual, fn in program.functions.items():
+        caller_mod = program.modules.get(fn.module)
+        if caller_mod is None or not caller_mod.deterministic:
+            continue
+        for call in fn.calls:
+            if not call.project or call.target is None:
+                continue
+            if call.target not in taint:
+                continue
+            callee = program.functions.get(call.target)
+            if callee is None:
+                continue
+            callee_mod = program.modules.get(callee.module)
+            if callee_mod is not None and callee_mod.deterministic:
+                continue  # the sink (or a closer frontier) is flagged there
+            _, kind, dotted = taint[call.target]
+            violations.append(
+                Violation(
+                    path=str(fn.path),
+                    line=call.line,
+                    col=call.col,
+                    code="LHT007",
+                    message=(
+                        f"{kind} sink reachable from deterministic code: "
+                        f"{_taint_chain(taint, call.target)} (called from "
+                        f"{qual})"
+                    ),
+                )
+            )
+    return violations
+
+
+def _check_kernel_encapsulation(program: Program) -> list[Violation]:
+    """LHT008: the PeerStore surface is layered — storage in the kernel
+    only, membership in ``repro.dht`` substrate modules only."""
+    violations: list[Violation] = []
+    for info in program.modules.values():
+        if info.name.endswith("dht.kernel") or info.name == "kernel":
+            continue
+        in_dht = "dht" in info.name.split(".")
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Attribute):
+                value = node.value
+                receiver_is_peers = (
+                    isinstance(value, ast.Attribute) and value.attr == "peers"
+                ) or (isinstance(value, ast.Name) and value.id == "peers")
+                if not receiver_is_peers:
+                    continue
+                if node.attr in PEERSTORE_STORAGE_SURFACE:
+                    violations.append(
+                        Violation(
+                            path=str(info.path),
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            code="LHT008",
+                            message=(
+                                f"peer-store storage surface "
+                                f"*.peers.{node.attr} used outside "
+                                "repro.dht.kernel — storage and metrics "
+                                "accounting live in the kernel only"
+                            ),
+                        )
+                    )
+                elif node.attr in PEERSTORE_MEMBERSHIP_SURFACE and not in_dht:
+                    violations.append(
+                        Violation(
+                            path=str(info.path),
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            code="LHT008",
+                            message=(
+                                f"peer-store membership method "
+                                f"*.peers.{node.attr} used outside the "
+                                "repro.dht substrate modules"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Call) and not in_dht:
+                dotted = _resolve_dotted(info, node.func)
+                if dotted is not None and dotted.split(".")[-1] == "PeerStore":
+                    hit = program.canonical_module(dotted)
+                    if hit is not None:
+                        violations.append(
+                            Violation(
+                                path=str(info.path),
+                                line=node.lineno,
+                                col=node.col_offset + 1,
+                                code="LHT008",
+                                message=(
+                                    "PeerStore constructed outside the "
+                                    "repro.dht package — per-peer stores "
+                                    "belong to substrates"
+                                ),
+                            )
+                        )
+    return violations
+
+
+def _route_closure(program: Program, entry: str) -> list[str]:
+    """Project functions reachable from a route entry, stopping at the
+    kernel storage boundary (those call edges are themselves offenses)."""
+    seen: list[str] = []
+    stack = [entry]
+    visited: set[str] = set()
+    while stack:
+        qual = stack.pop()
+        if qual in visited:
+            continue
+        visited.add(qual)
+        fn = program.functions.get(qual)
+        if fn is None:
+            continue
+        seen.append(qual)
+        for call in fn.calls:
+            if not call.project or call.target is None:
+                continue
+            if call.target.split(".")[-1] in KERNEL_STORAGE_METHODS:
+                continue  # boundary: the edge is reported, not traversed
+            stack.append(call.target)
+    return seen
+
+
+def _check_route_purity(program: Program) -> list[Violation]:
+    """LHT009: route paths never store, charge, or touch peer stores."""
+    violations: list[Violation] = []
+    for cls in program.classes.values():
+        if cls.qualname.split(".")[-1] == "SubstrateBase":
+            continue
+        if not program.class_reaches(cls.qualname, "SubstrateBase"):
+            continue
+        for method_name, fn_qual in cls.methods.items():
+            if method_name not in ROUTE_METHODS:
+                continue
+            for member in _route_closure(program, fn_qual):
+                fn = program.functions.get(member)
+                if fn is None:
+                    continue
+                for line, col, description in fn.purity_offenses:
+                    violations.append(
+                        Violation(
+                            path=str(fn.path),
+                            line=line,
+                            col=col,
+                            code="LHT009",
+                            message=(
+                                f"route path {cls.qualname.split('.')[-1]}."
+                                f"{method_name} -> {member.split('.')[-1]} "
+                                f"{description} — the kernel charges routed "
+                                "operations exactly once"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def _check_exception_flow(program: Program) -> list[Violation]:
+    """LHT010: no broad swallow of DHTError; no silent typed swallow."""
+    may_raise = _may_raise_dht(program)
+    violations: list[Violation] = []
+    for fn in program.functions.values():
+        for try_info in fn.trys:
+            risky = [c for c in try_info.body_calls
+                     if _call_may_raise(c, may_raise)]
+            for handler in try_info.handlers:
+                broad = handler.bare or (
+                    set(handler.type_names) & {"Exception", "BaseException"}
+                )
+                if broad and not handler.reraises and risky:
+                    caught = (
+                        "bare except" if handler.bare
+                        else f"except {', '.join(handler.type_names)}"
+                    )
+                    source = risky[0].target or (
+                        f"{'.'.join(risky[0].receiver)}.{risky[0].method}"
+                    )
+                    violations.append(
+                        Violation(
+                            path=str(fn.path),
+                            line=handler.line,
+                            col=handler.col,
+                            code="LHT010",
+                            message=(
+                                f"{caught} swallows typed DHTError signals "
+                                f"(e.g. from {source}) in {fn.qualname} — "
+                                "catch repro.errors types, re-raise, or "
+                                "return a degraded result"
+                            ),
+                        )
+                    )
+                elif (
+                    set(handler.type_names) & _REPRO_ERROR_NAMES
+                    and handler.pass_only
+                    and risky
+                ):
+                    violations.append(
+                        Violation(
+                            path=str(fn.path),
+                            line=handler.line,
+                            col=handler.col,
+                            code="LHT010",
+                            message=(
+                                f"except {', '.join(handler.type_names)}: "
+                                f"pass silently discards a DHT failure in "
+                                f"{fn.qualname} — record degraded state "
+                                "(MatchStatus.UNREACHABLE / complete=False) "
+                                "or propagate"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def _worker_closure_violations(
+    program: Program, worker_qual: str, site: tuple[int, int], path: Path
+) -> list[Violation]:
+    violations: list[Violation] = []
+    visited: set[str] = set()
+    stack = [worker_qual]
+    while stack:
+        qual = stack.pop()
+        if qual in visited:
+            continue
+        visited.add(qual)
+        fn = program.functions.get(qual)
+        if fn is None:
+            continue
+        for line, col, names in fn.global_decls:
+            violations.append(
+                Violation(
+                    path=str(fn.path), line=line, col=col, code="LHT011",
+                    message=(
+                        f"pool worker {worker_qual} rebinds module-level "
+                        f"name(s) {names} via `global` — spawn workers get "
+                        "a fresh module, so this state diverges from the "
+                        "parent"
+                    ),
+                )
+            )
+        for line, col, description in fn.foreign_mutations:
+            violations.append(
+                Violation(
+                    path=str(fn.path), line=line, col=col, code="LHT011",
+                    message=(
+                        f"pool worker {worker_qual} mutates another "
+                        f"module's state ({description}) — cross-module "
+                        "mutable state is invisible to --jobs N spawn "
+                        "workers"
+                    ),
+                )
+            )
+        for call in fn.calls:
+            if call.project and call.target is not None:
+                stack.append(call.target)
+    return violations
+
+
+def _check_parallel_safety(program: Program) -> list[Violation]:
+    """LHT011: pool-shipped callables are module-level and state-clean."""
+    violations: list[Violation] = []
+    for fn in program.functions.values():
+        for line, col, worker in fn.ship_sites:
+            if worker.kind == "lambda":
+                violations.append(
+                    Violation(
+                        path=str(fn.path), line=line, col=col, code="LHT011",
+                        message=(
+                            "lambda shipped to a process pool — spawn "
+                            "workers need a picklable module-level function"
+                        ),
+                    )
+                )
+            elif worker.kind == "bound":
+                violations.append(
+                    Violation(
+                        path=str(fn.path), line=line, col=col, code="LHT011",
+                        message=(
+                            f"bound method self.{worker.name} shipped to a "
+                            "process pool — it drags its instance (and any "
+                            "captured state) across the spawn boundary"
+                        ),
+                    )
+                )
+            elif worker.kind == "closure":
+                violations.append(
+                    Violation(
+                        path=str(fn.path), line=line, col=col, code="LHT011",
+                        message=(
+                            f"locally defined function {worker.name} shipped "
+                            "to a process pool — closures are not picklable "
+                            "by spawn workers; move it to module level"
+                        ),
+                    )
+                )
+            elif worker.kind == "name" and worker.name is not None:
+                target = program.project_target(worker.name)
+                if target is not None:
+                    violations.extend(
+                        _worker_closure_violations(
+                            program, target, (line, col), fn.path
+                        )
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Run every whole-program rule; returns violations, sorted.
+
+    ``# noqa`` suppression, unknown-code rejection, and sorting follow
+    the linter's semantics exactly, so the two tools compose: a line can
+    carry ``# noqa: LHT002, LHT007`` and silence each tool's finding
+    independently.
+    """
+    known = set(ANALYZER_RULES) | {"E902", "E999"}
+    for code in [*(select or []), *(ignore or [])]:
+        if code.upper() not in known:
+            raise ConfigurationError(
+                f"unknown rule code {code!r}; known codes: {sorted(known)}"
+            )
+    program = build_program(paths)
+    violations = list(program.parse_errors)
+    violations.extend(_check_hermeticity(program))
+    violations.extend(_check_kernel_encapsulation(program))
+    violations.extend(_check_route_purity(program))
+    violations.extend(_check_exception_flow(program))
+    violations.extend(_check_parallel_safety(program))
+
+    # Apply per-line noqa from each file's own source.
+    lines_by_path = {
+        str(info.path): info.source_lines for info in program.modules.values()
+    }
+    kept: list[Violation] = []
+    for violation in violations:
+        source_lines = lines_by_path.get(violation.path)
+        if source_lines is None:
+            kept.append(violation)
+            continue
+        kept.extend(_apply_noqa([violation], source_lines))
+    violations = kept
+
+    if select:
+        chosen = {code.upper() for code in select}
+        violations = [v for v in violations if v.code in chosen]
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        violations = [v for v in violations if v.code not in dropped]
+    # A finding can be emitted once per route entry or pool site that
+    # reaches it; report each (path, line, col, code, message) once.
+    unique = {
+        (v.path, v.line, v.col, v.code, v.message): v for v in violations
+    }
+    return sorted(
+        unique.values(), key=lambda v: (v.path, v.line, v.col, v.code)
+    )
+
+
+def _report_json(
+    violations: list[Violation], n_files: int, wall_s: float
+) -> str:
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.code] = counts.get(violation.code, 0) + 1
+    return json.dumps(
+        {
+            "tool": "repro.devtools.flow",
+            "rules": ANALYZER_RULES,
+            "files": n_files,
+            "violations": [v.to_dict() for v in violations],
+            "counts": dict(sorted(counts.items())),
+            "analysis_wall_s": round(wall_s, 4),
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools analyze",
+        description="Whole-program contract analyzer for the LHT "
+        "reproduction (call-graph rules LHT007+).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze as one program",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="only report these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="CODE",
+        help="suppress these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json includes analysis wall time)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, description in sorted(ANALYZER_RULES.items()):
+            print(f"{code}  {description}")
+        return 0
+
+    started = time.perf_counter()
+    try:
+        violations = analyze_paths(
+            args.paths, select=args.select, ignore=args.ignore
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall_s = time.perf_counter() - started
+    n_files = sum(
+        1
+        for f in _iter_python_files([Path(p) for p in args.paths])
+        if not _is_test_file(f)
+    )
+    if args.format == "json":
+        print(_report_json(violations, n_files, wall_s))
+        return 1 if violations else 0
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(
+            f"{len(violations)} violation(s) in {n_files} file(s) "
+            f"({wall_s:.2f}s)"
+        )
+        return 1
+    print(f"ok: {n_files} file(s) analyzed clean ({wall_s:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

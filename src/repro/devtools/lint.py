@@ -11,7 +11,8 @@ Rule catalogue (see ``docs/static_analysis.md`` for rationale):
 Code      Rule
 ========  ==============================================================
 LHT001    No wall-clock reads (``time.time``, ``datetime.now``, …)
-          inside the deterministic packages ``sim/``, ``dht/``, ``core/``.
+          inside the deterministic packages ``sim/``, ``dht/``, ``core/``,
+          ``cache/``, ``baselines/``, ``resilience/``.
 LHT002    No global randomness (stdlib ``random``, ``numpy.random``
           module-level functions, unseeded ``default_rng()``) inside the
           deterministic packages; randomness flows through
@@ -37,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from dataclasses import dataclass, field
@@ -71,7 +73,11 @@ KERNEL_OWNED_METHODS = frozenset(
 )
 
 #: Top-level packages whose modules must be hermetic (LHT001/LHT002).
-DETERMINISTIC_PACKAGES = frozenset({"sim", "dht", "core", "resilience"})
+#: ``cache`` and ``baselines`` perform routed operations whose counts
+#: feed figures, so they carry the same contract as the core.
+DETERMINISTIC_PACKAGES = frozenset(
+    {"sim", "dht", "core", "resilience", "cache", "baselines"}
+)
 
 #: Fully qualified callables that read the wall clock.
 _WALL_CLOCK_CALLS = frozenset(
@@ -127,6 +133,16 @@ class Violation:
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict (``--format json`` output shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -644,6 +660,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="suppress these rule codes (repeatable)",
     )
     parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json mirrors the analyzer's report shape)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     args = parser.parse_args(argv)
@@ -660,9 +680,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    n_files = sum(1 for _ in _iter_python_files([Path(p) for p in args.paths]))
+    if args.format == "json":
+        counts: dict[str, int] = {}
+        for violation in violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        print(
+            json.dumps(
+                {
+                    "tool": "repro.devtools.lint",
+                    "rules": LINT_RULES,
+                    "files": n_files,
+                    "violations": [v.to_dict() for v in violations],
+                    "counts": dict(sorted(counts.items())),
+                },
+                indent=2,
+            )
+        )
+        return 1 if violations else 0
     for violation in violations:
         print(violation.format())
-    n_files = sum(1 for _ in _iter_python_files([Path(p) for p in args.paths]))
     if violations:
         print(f"{len(violations)} violation(s) in {n_files} file(s)")
         return 1

@@ -48,6 +48,13 @@ class TestWallClockRule:
         src = "import time\n\ndef now():\n    return time.time()\n"
         assert lint_at(src, "experiments/timing.py", tmp_path) == []
 
+    def test_cache_and_baselines_are_deterministic_packages(self, tmp_path):
+        # They perform routed operations whose counts feed figures, so
+        # they carry the same hermeticity contract as the core.
+        src = "import time\n\ndef now():\n    return time.time()\n"
+        assert lint_at(src, "cache/warm.py", tmp_path) == ["LHT001"]
+        assert lint_at(src, "baselines/probe.py", tmp_path) == ["LHT001"]
+
     def test_simulated_clock_is_clean(self, tmp_path):
         src = (
             "class Clock:\n"
@@ -87,6 +94,10 @@ class TestGlobalRandomnessRule:
     def test_randomness_allowed_outside_deterministic_packages(self, tmp_path):
         src = "import random\n\ndef draw():\n    return random.random()\n"
         assert lint_at(src, "scripts/demo.py", tmp_path) == []
+
+    def test_global_randomness_flagged_in_baselines(self, tmp_path):
+        src = "import numpy as np\n\ndef draw():\n    return np.random.rand()\n"
+        assert lint_at(src, "baselines/noise.py", tmp_path) == ["LHT002"]
 
 
 class TestBareAssertRule:
@@ -293,6 +304,86 @@ class TestNoqaSuppression:
     def test_wrong_code_noqa_does_not_suppress(self, tmp_path):
         src = "def f(x=[]):  # noqa: LHT001\n    return x\n"
         assert lint_at(src, "pkg/mod.py", tmp_path) == ["LHT004"]
+
+
+class TestLintAnalyzerInterplay:
+    """Lint and the whole-program analyzer flagging the *same line*.
+
+    One line carries an LHT004 (mutable default — lint's finding) and a
+    call into a tainted helper (LHT007 — the analyzer's finding).  Each
+    tool honours only its own codes in a ``# noqa`` list, so the codes
+    suppress independently and a combined list silences both.
+    """
+
+    SINK_HELPER = (
+        "import time\n\n"
+        "def helper():\n"
+        "    return time.perf_counter()\n"
+    )
+
+    def _write(self, tmp_path: Path, noqa: str) -> Path:
+        (tmp_path / "util").mkdir(parents=True, exist_ok=True)
+        (tmp_path / "util" / "timing.py").write_text(self.SINK_HELPER)
+        core = tmp_path / "core"
+        core.mkdir(parents=True, exist_ok=True)
+        (core / "tick.py").write_text(
+            "from util.timing import helper\n\n"
+            f"def tick(log=[]): return helper(){noqa}\n"
+        )
+        return tmp_path
+
+    def _both(self, tmp_path: Path) -> tuple[list[str], list[str]]:
+        from repro.devtools.flow import analyze_paths
+
+        lint = codes(lint_paths([tmp_path / "core" / "tick.py"]))
+        flow = codes(analyze_paths([tmp_path]))
+        return lint, flow
+
+    def test_both_tools_flag_the_same_line(self, tmp_path):
+        self._write(tmp_path, "")
+        lint, flow = self._both(tmp_path)
+        assert lint == ["LHT004"]
+        assert flow == ["LHT007"]
+
+    def test_noqa_codes_suppress_independently(self, tmp_path):
+        self._write(tmp_path, "  # noqa: LHT004")
+        lint, flow = self._both(tmp_path)
+        assert lint == []
+        assert flow == ["LHT007"]  # the other tool's finding survives
+
+    def test_combined_noqa_list_silences_both(self, tmp_path):
+        self._write(tmp_path, "  # noqa: LHT004, LHT007")
+        lint, flow = self._both(tmp_path)
+        assert lint == []
+        assert flow == []
+
+
+class TestJsonFormat:
+    def test_json_report_shape(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "core" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\nrandom.seed(0)\n")
+        assert main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro.devtools.lint"
+        assert payload["counts"] == {"LHT002": 1}
+        violation = payload["violations"][0]
+        assert violation["code"] == "LHT002"
+        assert violation["line"] == 2
+        assert violation["path"].endswith("mod.py")
+
+    def test_json_clean_tree_exits_zero(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "core" / "ok.py"
+        good.parent.mkdir()
+        good.write_text("X = 1\n")
+        assert main([str(good), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []
+        assert payload["files"] == 1
 
 
 class TestDriver:
