@@ -13,7 +13,11 @@ The package provides:
 * the PHT / DST / raw-DHT baselines (:mod:`repro.baselines`);
 * the paper's linear cost model (:mod:`repro.costmodel`);
 * workload generators (:mod:`repro.workloads`) and the experiment harness
-  (:mod:`repro.experiments`) regenerating every figure in §9.
+  (:mod:`repro.experiments`) regenerating every figure in §9;
+* a serving layer (:mod:`repro.serve`) driving the index from many
+  concurrent client sessions — admission control, lookup coalescing
+  onto batched DHT rounds, and latency percentiles (see
+  ``docs/serving.md``).
 
 Quickstart::
 

@@ -38,13 +38,14 @@ import bisect
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
-from repro.core.bucket import Record
+from repro.core.bucket import LeafBucket, Record
 from repro.core.config import IndexConfig
 from repro.core.keys import key_bits
 from repro.core.label import Label
+from repro.core.naming import naming
 from repro.errors import LookupError_
 
-__all__ = ["BulkPlan", "normalize_items", "plan_bulk_load"]
+__all__ = ["BulkPlan", "leaf_put_items", "normalize_items", "plan_bulk_load"]
 
 
 def normalize_items(
@@ -152,3 +153,19 @@ def plan_bulk_load(
         split_bits=tuple(split_bits),
         inserted=len(records),
     )
+
+
+def leaf_put_items(plan: BulkPlan) -> list[tuple[str, LeafBucket]]:
+    """The routed write batch that commits a plan: one ``(DHT key,
+    bucket)`` item per changed final leaf, in sorted-bits order.
+
+    The batch feeds :meth:`~repro.dht.base.DHT.multi_put` — one parallel
+    round, one charged put per leaf.  Every retired leaf name ``f_n(ω)``
+    re-names a leaf created by the replay (Theorem 1's chains are
+    suffix-closed), so these puts overwrite all stale keys: no removes
+    are needed.
+    """
+    return [
+        (str(naming(Label(bits))), LeafBucket(Label(bits), plan.leaves[bits]))
+        for bits in sorted(plan.changed)
+    ]

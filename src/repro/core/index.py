@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import (lazy at runtime)
 
 from repro.cache import LeafCache, cached_lookup
 from repro.core.bucket import LeafBucket, Record
-from repro.core.bulkbuild import normalize_items, plan_bulk_load
+from repro.core.bulkbuild import leaf_put_items, normalize_items, plan_bulk_load
 from repro.core.config import IndexConfig
 from repro.core.interval import Range
 from repro.core.keys import key_bits
@@ -246,12 +246,11 @@ class LHTIndex:
                 )
             existing[bits] = list(bucket.records)
         plan = plan_bulk_load(existing, records, self.config)
-        # Every retired leaf name f_n(ω) re-names a leaf created by the
-        # replay (Theorem 1's chains are suffix-closed), so these puts
-        # overwrite all stale keys: no removes are needed.
-        for bits in sorted(plan.changed):
-            label = Label(bits)
-            self.dht.put(str(naming(label)), LeafBucket(label, plan.leaves[bits]))
+        # One batched routed round commits the whole plan: each changed
+        # final leaf is charged one put (identical counts to sequential
+        # puts), and the batch crosses the overlay as a single parallel
+        # step (see DHT.multi_put).
+        self.dht.multi_put(leaf_put_items(plan))
         self._leaf_bits = set(plan.leaves)
         self.record_count += plan.inserted
         if self.cache is not None:

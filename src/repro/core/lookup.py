@@ -20,6 +20,8 @@ Probe outcomes steer the search:
 
 from __future__ import annotations
 
+from typing import Any, Generator, cast
+
 from repro.core.bucket import LeafBucket
 from repro.core.config import IndexConfig
 from repro.core.keys import mu_path
@@ -29,17 +31,22 @@ from repro.core.results import LookupResult
 from repro.dht.base import DHT
 from repro.errors import LabelError
 
-__all__ = ["lht_lookup", "lht_lookup_linear"]
+__all__ = ["lht_lookup", "lht_lookup_linear", "lookup_plan"]
 
 
-def lht_lookup(dht: DHT, config: IndexConfig, key: float) -> LookupResult:
-    """Locate the leaf bucket whose interval covers ``key`` (Alg. 2).
+def lookup_plan(
+    config: IndexConfig, key: float
+) -> Generator[Label, Any, LookupResult]:
+    """Alg. 2 as a *probe plan*: the search logic with the I/O peeled off.
 
-    Returns a :class:`LookupResult` whose ``name`` is ``f_n(λ(δ))`` — the
-    DHT key of the covering bucket — and whose ``dht_lookups`` counts the
-    binary-search probes.  A ``None`` bucket indicates an inconsistent
-    index (unreachable in a quiescent system; possible transiently under
-    churn).
+    A generator that yields the next name to probe (``f_n`` of a
+    candidate prefix) and receives the fetched value via ``send``; it
+    returns the final :class:`LookupResult` through ``StopIteration``.
+    :func:`lht_lookup` drives one plan with sequential ``dht.get`` calls;
+    the serving layer's coalescer (:mod:`repro.serve`) drives *many*
+    plans in lock-step, merging each round's probes into one
+    :meth:`~repro.dht.base.DHT.multi_get` — both paths execute this
+    exact search, so their answers cannot diverge.
     """
     mu = mu_path(key, config.max_depth)
     shorter = 2
@@ -51,7 +58,7 @@ def lht_lookup(dht: DHT, config: IndexConfig, key: float) -> LookupResult:
         mid = (shorter + longer) // 2
         x = mu.prefix(mid)
         name = naming(x)
-        bucket = dht.get(str(name))
+        bucket = yield name
         lookups += 1
         probed.append(name)
         if bucket is None:
@@ -71,6 +78,24 @@ def lht_lookup(dht: DHT, config: IndexConfig, key: float) -> LookupResult:
                 break
 
     return LookupResult(None, None, lookups, tuple(probed))
+
+
+def lht_lookup(dht: DHT, config: IndexConfig, key: float) -> LookupResult:
+    """Locate the leaf bucket whose interval covers ``key`` (Alg. 2).
+
+    Returns a :class:`LookupResult` whose ``name`` is ``f_n(λ(δ))`` — the
+    DHT key of the covering bucket — and whose ``dht_lookups`` counts the
+    binary-search probes.  A ``None`` bucket indicates an inconsistent
+    index (unreachable in a quiescent system; possible transiently under
+    churn).
+    """
+    plan = lookup_plan(config, key)
+    try:
+        name = next(plan)
+        while True:
+            name = plan.send(dht.get(str(name)))
+    except StopIteration as stop:
+        return cast(LookupResult, stop.value)
 
 
 def lht_lookup_linear(dht: DHT, config: IndexConfig, key: float) -> LookupResult:

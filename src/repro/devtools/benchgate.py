@@ -5,9 +5,10 @@ host; the *counts* the paper cares about — routed DHT-gets per
 operation, parallel lookup steps, records moved by maintenance — are
 exactly reproducible from a seed.  This module measures those counts on
 a fixed workload and compares them against checked-in baselines
-(``BENCH_lookup.json`` / ``BENCH_range.json`` at the repository root),
-so a change that silently makes lookups or range queries more expensive
-fails a test instead of a human's memory.
+(``BENCH_lookup.json`` / ``BENCH_range.json`` / ``BENCH_build.json`` /
+``BENCH_serve.json`` at the repository root), so a change that silently
+makes lookups, range queries, bulk builds, or request serving more
+expensive fails a test instead of a human's memory.
 
 Usage::
 
@@ -36,16 +37,20 @@ from repro.core.index import LHTIndex
 from repro.dht.local import LocalDHT
 from repro.errors import ReproError
 from repro.experiments.common import SUBSTRATES, make_dht
+from repro.serve import ServeConfig, ServeEngine, WorkloadConfig, generate_workload
 from repro.sim.rng import derive_seed
+from repro.workloads.queries import zipf_rank_choice
 
 __all__ = [
     "TOLERANCE",
     "LOOKUP_BASELINE",
     "RANGE_BASELINE",
     "BUILD_BASELINE",
+    "SERVE_BASELINE",
     "measure_lookup",
     "measure_range",
     "measure_build",
+    "measure_serve",
     "measure_substrate_hops",
     "compare",
     "main",
@@ -58,6 +63,7 @@ _REPO_ROOT = Path(__file__).resolve().parents[3]
 LOOKUP_BASELINE = _REPO_ROOT / "BENCH_lookup.json"
 RANGE_BASELINE = _REPO_ROOT / "BENCH_range.json"
 BUILD_BASELINE = _REPO_ROOT / "BENCH_build.json"
+SERVE_BASELINE = _REPO_ROOT / "BENCH_serve.json"
 
 #: Fixed workload shape — the baselines are only comparable against the
 #: exact same parameters, so they are recorded alongside the metrics.
@@ -97,15 +103,10 @@ def _build(seed: int, *, cache_capacity: int | None) -> tuple[LHTIndex, list[flo
 def _probe_stream(keys: list[float], seed: int) -> list[float]:
     """A Zipf-over-rank probe stream on stored keys (cf. experiment E23)."""
     rng = np.random.default_rng(derive_seed(seed, "bench:probes"))
-    ranked = rng.permutation(keys)
-    weights = np.arange(1, len(ranked) + 1, dtype=float) ** (
-        -_PARAMS["probe_skew"]
+    probes = zipf_rank_choice(
+        np.asarray(keys), _PARAMS["probe_skew"], _PARAMS["n_probes"], rng
     )
-    weights /= weights.sum()
-    return [
-        float(k)
-        for k in rng.choice(ranked, size=_PARAMS["n_probes"], p=weights)
-    ]
+    return [float(k) for k in probes]
 
 
 def _probe_cost(index: LHTIndex, probes: list[float]) -> float:
@@ -237,6 +238,117 @@ def measure_build(seed: int = 1) -> dict:
     return {"params": dict(_PARAMS), "metrics": counts, "info": info}
 
 
+#: Serving-gate workload shape — its own dict so the three original
+#: baselines stay byte-comparable (their recorded ``params`` must not
+#: change when serving knobs do).
+_SERVE_PARAMS = {
+    "seed": 1,
+    "n_keys": 2048,
+    "theta_split": 100,
+    "max_depth": 20,
+    "n_requests": 480,
+    "rate": 140.0,
+    "skew": 1.1,
+    "mix": {"lookup": 0.90, "insert": 0.05, "remove": 0.03, "range": 0.02},
+    "n_sessions": 8,
+    "max_in_flight": 8,
+    "max_queue": 32,
+    "step_seconds": 0.01,
+}
+
+
+def _serve_index(seed: int) -> tuple[LHTIndex, list[float]]:
+    dht = LocalDHT(n_peers=16, seed=derive_seed(seed, "bench:serve:sub"))
+    config = IndexConfig(
+        theta_split=_SERVE_PARAMS["theta_split"],
+        max_depth=_SERVE_PARAMS["max_depth"],
+    )
+    index = LHTIndex(dht, config)
+    rng = np.random.default_rng(derive_seed(seed, "bench:serve:keys"))
+    keys = [float(k) for k in rng.random(_SERVE_PARAMS["n_keys"])]
+    index.bulk_load(keys)
+    return index, keys
+
+
+def measure_serve(seed: int = 1) -> dict:
+    """Serving-layer counts: latency percentiles, cost, and coalescing.
+
+    One seeded open-loop workload (Poisson arrivals, Zipf key skew) is
+    served twice by the deterministic engine over identical indexes —
+    once with lookup coalescing on, once off.  Both arms see identical
+    batch shapes and rounds (coalescing changes *how many gets* a round
+    issues, never how many rounds there are), so their timing, admission
+    decisions, and answers match and the routed-get counts are directly
+    comparable.
+
+    Gated (all lower-is-better): latency p50/p90/p99 and simulated
+    seconds per completed request (the inverse of throughput — gating it
+    gates throughput), routed gets of both arms, and routed ops per
+    request.  ``info`` carries the higher-is-better or derived views
+    (throughput, gets saved, batches, rejections).  The coalesced arm
+    must issue *strictly fewer* routed gets than the uncoalesced arm at
+    this concurrency (``max_in_flight`` ≥ 8) — a hard invariant, not a
+    tolerance-gated count.
+    """
+    workload_config = WorkloadConfig(
+        n_requests=_SERVE_PARAMS["n_requests"],
+        rate=_SERVE_PARAMS["rate"],
+        skew=_SERVE_PARAMS["skew"],
+        mix=dict(_SERVE_PARAMS["mix"]),
+        n_sessions=_SERVE_PARAMS["n_sessions"],
+    )
+    arms: dict[str, tuple] = {}
+    for arm, coalesce in (("coalesced", True), ("uncoalesced", False)):
+        index, keys = _serve_index(seed)
+        workload = generate_workload(
+            keys, workload_config, seed=derive_seed(seed, "bench:serve:wl")
+        )
+        engine = ServeEngine(
+            index,
+            ServeConfig(
+                max_in_flight=_SERVE_PARAMS["max_in_flight"],
+                max_queue=_SERVE_PARAMS["max_queue"],
+                coalesce=coalesce,
+                step_seconds=_SERVE_PARAMS["step_seconds"],
+            ),
+        )
+        arms[arm] = (engine.run(workload), index.dht.metrics.snapshot())
+
+    crun, cspent = arms["coalesced"]
+    urun, uspent = arms["uncoalesced"]
+    if cspent.gets >= uspent.gets:
+        raise ReproError(
+            f"coalescing saved nothing: {cspent.gets} routed gets vs "
+            f"{uspent.gets} uncoalesced at concurrency "
+            f"{_SERVE_PARAMS['max_in_flight']}"
+        )
+    if crun.rejected != urun.rejected:
+        raise ReproError(
+            "arms diverged on admission: coalescing must not change "
+            f"timing ({crun.rejected} vs {urun.rejected} rejections)"
+        )
+    completed = len(crun.responses) - crun.rejected
+    if completed <= 0:
+        raise ReproError("serving workload completed no requests")
+    metrics = {
+        "latency_p50_s": crun.percentiles["p50"],
+        "latency_p90_s": crun.percentiles["p90"],
+        "latency_p99_s": crun.percentiles["p99"],
+        "sim_seconds_per_request": crun.sim_seconds / completed,
+        "routed_ops_per_request": cspent.dht_lookups / completed,
+        "coalesced_routed_gets": float(cspent.gets),
+        "uncoalesced_routed_gets": float(uspent.gets),
+    }
+    info = {
+        "throughput_rps": completed / crun.sim_seconds,
+        "gets_saved_by_coalescing": float(crun.coalesced_saved),
+        "batches": float(crun.batches),
+        "rejections": float(crun.rejected),
+        "completed": float(completed),
+    }
+    return {"params": dict(_SERVE_PARAMS), "metrics": metrics, "info": info}
+
+
 def compare(
     current: Mapping[str, float],
     baseline: Mapping[str, float],
@@ -293,12 +405,24 @@ def main(argv: list[str] | None = None) -> int:
         help="compare against the baselines (default)",
     )
     parser.add_argument("--seed", type=int, default=_PARAMS["seed"])
+    parser.add_argument(
+        "--only",
+        choices=("lookup", "range", "build", "serve"),
+        action="append",
+        default=None,
+        help="measure only these gates (repeatable; default: all)",
+    )
     args = parser.parse_args(argv)
 
+    suites = {
+        "lookup": (LOOKUP_BASELINE, measure_lookup),
+        "range": (RANGE_BASELINE, measure_range),
+        "build": (BUILD_BASELINE, measure_build),
+        "serve": (SERVE_BASELINE, measure_serve),
+    }
+    chosen = args.only if args.only else list(suites)
     measurements = {
-        LOOKUP_BASELINE: measure_lookup(args.seed),
-        RANGE_BASELINE: measure_range(args.seed),
-        BUILD_BASELINE: measure_build(args.seed),
+        suites[name][0]: suites[name][1](args.seed) for name in chosen
     }
     if args.write:
         for path, current in measurements.items():

@@ -132,7 +132,7 @@ ROUTE_METHODS = frozenset({"route", "route_point", "route_id"})
 
 #: DHT interface methods that are routed (may raise typed DHTError).
 ROUTED_OP_NAMES = frozenset(
-    {"put", "get", "remove", "multi_get", "local_write"}
+    {"put", "get", "remove", "multi_get", "multi_put", "local_write"}
 )
 
 #: Receiver names conventionally bound to a DHT in this codebase.

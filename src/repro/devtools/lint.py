@@ -12,7 +12,7 @@ Code      Rule
 ========  ==============================================================
 LHT001    No wall-clock reads (``time.time``, ``datetime.now``, …)
           inside the deterministic packages ``sim/``, ``dht/``, ``core/``,
-          ``cache/``, ``baselines/``, ``resilience/``.
+          ``cache/``, ``baselines/``, ``resilience/``, ``serve/``.
 LHT002    No global randomness (stdlib ``random``, ``numpy.random``
           module-level functions, unseeded ``default_rng()``) inside the
           deterministic packages; randomness flows through
@@ -74,9 +74,11 @@ KERNEL_OWNED_METHODS = frozenset(
 
 #: Top-level packages whose modules must be hermetic (LHT001/LHT002).
 #: ``cache`` and ``baselines`` perform routed operations whose counts
-#: feed figures, so they carry the same contract as the core.
+#: feed figures, so they carry the same contract as the core; ``serve``
+#: feeds the gated serving benchmark, so its time is the simulated
+#: clock and its randomness the seeded workload generator.
 DETERMINISTIC_PACKAGES = frozenset(
-    {"sim", "dht", "core", "resilience", "cache", "baselines"}
+    {"sim", "dht", "core", "resilience", "cache", "baselines", "serve"}
 )
 
 #: Fully qualified callables that read the wall clock.

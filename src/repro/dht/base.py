@@ -98,6 +98,45 @@ class DHT(abc.ABC):
                 values.append(None)
         return values
 
+    def multi_put(
+        self,
+        items: Sequence[tuple[str, Any]],
+        *,
+        absorb_errors: bool = False,
+    ) -> list[bool]:
+        """Issue one *batched parallel round* of puts, in item order.
+
+        The write-side dual of :meth:`multi_get`: bulk loading ships one
+        put per final leaf and the serving layer's write bursts hand a
+        whole batch to the substrate at once.  Each item is still charged
+        as one DHT-lookup — batching changes latency (one parallel step
+        per round), never bandwidth — and the stored state is identical
+        to issuing the same puts sequentially.
+
+        Returns one ``bool`` per item: ``True`` when the value was
+        stored.  With ``absorb_errors=True``, a typed
+        :class:`~repro.errors.DHTError` on one item (an injected put
+        failure, an open circuit breaker) yields ``False`` for that item
+        instead of failing the round; otherwise the error propagates and
+        the round's remaining items are not attempted — exactly the
+        :meth:`multi_get` contract.
+
+        This default issues the puts sequentially through :meth:`put`;
+        substrates with genuinely concurrent transports may override it,
+        preserving the per-item accounting and result order.
+        """
+        stored: list[bool] = []
+        for key, value in items:
+            try:
+                self.put(key, value)
+            except DHTError:
+                if not absorb_errors:
+                    raise
+                stored.append(False)
+            else:
+                stored.append(True)
+        return stored
+
     # ------------------------------------------------------------------
     # Local persistence (free of lookup cost)
     # ------------------------------------------------------------------

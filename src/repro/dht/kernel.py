@@ -38,11 +38,11 @@ Three classes:
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.dht.base import DHT
 from repro.dht.metrics import MetricsRecorder
-from repro.errors import NoSuchPeerError
+from repro.errors import DHTError, NoSuchPeerError
 
 __all__ = ["PeerStore", "SubstrateBase", "DelegatingDHT"]
 
@@ -207,6 +207,39 @@ class SubstrateBase(DHT):
         self.metrics.record_remove(hops)
         return self.peers.store_of(owner).pop(key, None)
 
+    def multi_put(
+        self,
+        items: Sequence[tuple[str, Any]],
+        *,
+        absorb_errors: bool = False,
+    ) -> list[bool]:
+        """One batched routed round of puts against the peer store.
+
+        The kernel-level write batch: every item is routed and charged
+        individually (``record_put`` per item, so counts are
+        byte-identical to sequential :meth:`put` calls), but the whole
+        batch crosses the overlay as a single parallel round — the
+        latency model the serving layer and ``bulk_load`` fast path
+        bill as one step.  ``absorb_errors`` keeps the
+        :meth:`~repro.dht.base.DHT.multi_put` contract: a typed
+        :class:`~repro.errors.DHTError` raised while routing one item
+        (possible mid-churn) marks that item ``False`` instead of
+        failing the round.
+        """
+        stored: list[bool] = []
+        for key, value in items:
+            try:
+                owner, hops = self.route(key)
+            except DHTError:
+                if not absorb_errors:
+                    raise
+                stored.append(False)
+                continue
+            self.metrics.record_put(hops)
+            self.peers.store_of(owner)[key] = value
+            stored.append(True)
+        return stored
+
     # ------------------------------------------------------------------
     # Local persistence (free of lookup cost)
     # ------------------------------------------------------------------
@@ -274,13 +307,19 @@ class DelegatingDHT(DHT):
     inherited :meth:`~repro.dht.base.DHT.multi_get`) lives in exactly
     one place.
 
-    ``multi_get`` is deliberately *not* forwarded to
-    ``inner.multi_get``: the inherited sequential default issues each
-    get through the **wrapper's own** ``get``, so per-key semantics
-    (fault injection, retries, replica fan-out, serialization) apply to
-    batched rounds exactly as to single gets, and a typed
+    ``multi_get`` and ``multi_put`` are deliberately *not* forwarded to
+    ``inner.multi_get`` / ``inner.multi_put``: the inherited sequential
+    defaults issue each key through the **wrapper's own** ``get`` /
+    ``put``, so per-key semantics (fault injection, retries, replica
+    fan-out, serialization, access logging, breaker gating) apply to
+    batched rounds exactly as to single operations, and a typed
     :class:`~repro.errors.DHTError` per key is absorbed or propagated
-    by the one implementation in the abstract base.
+    by the one implementation in the abstract base.  Forwarding either
+    batch to ``inner`` would silently skip every wrapper between the
+    caller and the substrate — a wrapper that *does* need batch-level
+    behaviour must override the method explicitly and route each item
+    through its own single-key path (the rule
+    ``tests/test_substrate_conformance.py`` pins per wrapper).
     """
 
     def __init__(self, inner: DHT) -> None:

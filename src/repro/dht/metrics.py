@@ -43,6 +43,10 @@ class MetricsSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stale: int = 0
+    serve_requests: int = 0
+    serve_rejections: int = 0
+    serve_batches: int = 0
+    serve_coalesced_gets: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         return MetricsSnapshot(
@@ -94,6 +98,12 @@ class MetricsRecorder:
         "cache_hits",
         "cache_misses",
         "cache_stale",
+        "serve_requests",
+        "serve_rejections",
+        "serve_batches",
+        "serve_coalesced_gets",
+        "request_latencies",
+        "queue_depth_peak",
     )
 
     def __init__(self) -> None:
@@ -117,6 +127,19 @@ class MetricsRecorder:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_stale = 0
+        self.serve_requests = 0
+        self.serve_rejections = 0
+        self.serve_batches = 0
+        self.serve_coalesced_gets = 0
+        #: Per-request completion latencies in simulated seconds — the
+        #: raw sample behind :meth:`latency_percentiles`.  A list, not a
+        #: counter: percentiles are not additive, so the serving layer
+        #: keeps the sample and snapshots stay pure integer counts.
+        self.request_latencies: list[float] = []
+        #: High-water mark of the serving layer's waiting queue (a
+        #: gauge, not a counter — excluded from snapshots for the same
+        #: reason as the latency sample).
+        self.queue_depth_peak = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -209,6 +232,51 @@ class MetricsRecorder:
         covered the key (split/merge moved the leaf, or the reply was
         dropped); the lookup fell back to the binary search."""
         self.cache_stale += 1
+
+    # ------------------------------------------------------------------
+    # Serving-layer events (the routed traffic a request causes is
+    # charged by the substrate as usual; these add the request-level
+    # view: completions, rejections, batching, and latency)
+    # ------------------------------------------------------------------
+
+    def record_request(self, latency: float) -> None:
+        """Account one completed serve request and its end-to-end
+        latency (simulated seconds, admission to completion)."""
+        self.serve_requests += 1
+        self.request_latencies.append(latency)
+
+    def record_rejection(self) -> None:
+        """Account one request rejected by admission control (nothing
+        was routed, so nothing else is charged)."""
+        self.serve_rejections += 1
+
+    def record_batch(self, coalesced_gets: int) -> None:
+        """Account one executed serve batch; ``coalesced_gets`` counts
+        routed gets *saved* by deduplicating probe keys across the
+        batch's concurrent lookups."""
+        self.serve_batches += 1
+        self.serve_coalesced_gets += coalesced_gets
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the high-water mark of the waiting queue."""
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p90/p99 of recorded request latencies (nearest-rank).
+
+        Returns zeros when no requests completed, so dashboards and the
+        benchgate can read the dict unconditionally.
+        """
+        sample = sorted(self.request_latencies)
+        if not sample:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        last = len(sample) - 1
+
+        def rank(q: float) -> float:
+            return sample[min(last, int(q * len(sample)))]
+
+        return {"p50": rank(0.50), "p90": rank(0.90), "p99": rank(0.99)}
 
     # ------------------------------------------------------------------
     # Snapshots

@@ -52,6 +52,16 @@ class CircuitOpenError(DHTError):
     """
 
 
+class OverloadError(ReproError):
+    """A request was rejected by the serving layer's admission control.
+
+    Raised by :mod:`repro.serve` front-ends when the bounded in-flight
+    window and waiting queue are both full; nothing was routed (and
+    nothing is charged beyond the rejection counter), so the client may
+    retry after backing off.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for discrete-event simulation errors."""
 

@@ -41,6 +41,7 @@ from repro.experiments.common import (
 )
 from repro.sim.rng import derive_seed
 from repro.workloads.datasets import make_keys
+from repro.workloads.queries import zipf_rank_choice
 
 __all__ = ["run"]
 
@@ -64,15 +65,9 @@ _AMPLE_CAPACITY = 4096
 def _zipf_probes(
     keys: np.ndarray, skew: float, n_probes: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Sample probe keys with Zipf-over-rank weights ``(i+1)^-skew``.
-
-    Ranks are assigned by a seeded shuffle so popularity is independent
-    of key *value* — skew in the query stream, not in the key space.
-    """
-    ranked = rng.permutation(keys)
-    weights = (np.arange(1, len(ranked) + 1, dtype=float)) ** (-skew)
-    weights /= weights.sum()
-    return rng.choice(ranked, size=n_probes, p=weights)
+    """Zipf-over-rank probe stream (shared machinery — see
+    :func:`repro.workloads.queries.zipf_rank_choice`)."""
+    return zipf_rank_choice(keys, skew, n_probes, rng)
 
 
 def _arm(

@@ -1,0 +1,191 @@
+"""Deterministic open-loop serving engine over the simulated clock.
+
+The asyncio and threaded front-ends (:mod:`repro.serve.frontend`) give
+real concurrency but schedule at the mercy of the host; their numbers
+are not gateable.  :class:`ServeEngine` runs the *same* batching core
+(:func:`repro.serve.service.execute_batch`) under a discrete-event model
+where everything — arrival instants, batch service times, queueing delay
+— is priced in simulated seconds:
+
+* requests arrive at the instants the seeded workload generator drew;
+* one batch occupies the service for ``rounds * step_seconds`` — the
+  cost model already used everywhere else: a parallel routed round is
+  the latency unit;
+* a request's latency is completion minus arrival, so p99 picks up the
+  queueing delay behind slow batches, exactly what an open-loop system
+  exposes.
+
+The result is a pure function of ``(index state, arrivals, config)``:
+the serving benchgate (``BENCH_serve.json``) banks its throughput, p99,
+and routed-op counts, and the coalescing saving is a gated number
+instead of a plot.
+
+Admission control models a bounded system: at most
+``max_in_flight + max_queue`` requests may be waiting when a new one
+arrives; past that the arrival is rejected (``Status.REJECTED``,
+:meth:`~repro.dht.metrics.MetricsRecorder.record_rejection`) without
+routing anything — the deterministic mirror of the front-ends' typed
+:class:`~repro.errors.OverloadError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.index import LHTIndex
+from repro.errors import ConfigurationError
+from repro.serve.service import (
+    Response,
+    ServeConfig,
+    Status,
+    execute_batch,
+)
+from repro.serve.workload import Arrival
+from repro.sim.clock import Clock
+
+__all__ = ["ServeEngine", "ServeResult"]
+
+
+@dataclass(slots=True)
+class ServeResult:
+    """Everything one engine run produced.
+
+    Attributes:
+        responses: One per arrival, in arrival order (rejections
+            included, with ``Status.REJECTED`` and zero latency).
+        executed_order: Arrival indices in the order the service
+            actually executed them — replaying the requests serially in
+            this order must reproduce identical answers and index state
+            (``tests/test_serve.py`` pins it).
+        batches: Batches executed.
+        rounds: Total parallel routed rounds across all batches.
+        routed_ops: Routed DHT operations charged while serving.
+        coalesced_saved: Routed gets avoided by cross-request dedup.
+        rejected: Arrivals refused by admission control.
+        sim_seconds: Simulated time from first arrival to last
+            completion.
+        percentiles: p50/p90/p99 of completed-request latencies.
+    """
+
+    responses: list[Response]
+    executed_order: list[int] = field(default_factory=list)
+    batches: int = 0
+    rounds: int = 0
+    routed_ops: int = 0
+    coalesced_saved: int = 0
+    rejected: int = 0
+    sim_seconds: float = 0.0
+    percentiles: dict[str, float] = field(default_factory=dict)
+
+
+class ServeEngine:
+    """Discrete-event service: admit → batch → execute → advance.
+
+    The engine alternates two phases.  While the service is idle it
+    advances the clock to the next arrival and admits everything that
+    has arrived.  It then forms one batch from the head of the waiting
+    queue — a maximal run of point lookups up to ``max_in_flight``, or a
+    single mutation (writes are barriers; see
+    :func:`~repro.serve.service.execute_batch`) — executes it, advances
+    the clock by the batch's service time, and admits the arrivals that
+    landed meanwhile.  Head-of-line order is never reordered, which is
+    what makes the executed order a serialization.
+    """
+
+    def __init__(
+        self,
+        index: LHTIndex,
+        config: ServeConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.index = index
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock if clock is not None else Clock()
+
+    # ------------------------------------------------------------------
+
+    def _admit(
+        self,
+        arrival: Arrival,
+        pending: deque[Arrival],
+        responses: list[Response | None],
+        result: ServeResult,
+    ) -> None:
+        capacity = self.config.max_in_flight + self.config.max_queue
+        if len(pending) >= capacity:
+            responses[arrival.index] = Response(
+                Status.REJECTED,
+                error="admission control: in-flight window and queue full",
+            )
+            result.rejected += 1
+            self.index.dht.metrics.record_rejection()
+            return
+        pending.append(arrival)
+        self.index.dht.metrics.record_queue_depth(len(pending))
+
+    @staticmethod
+    def _next_batch(pending: deque[Arrival], max_in_flight: int) -> list[Arrival]:
+        batch = [pending.popleft()]
+        if batch[0].request.is_read:
+            while (
+                pending
+                and pending[0].request.is_read
+                and len(batch) < max_in_flight
+            ):
+                batch.append(pending.popleft())
+        return batch
+
+    # ------------------------------------------------------------------
+
+    def run(self, arrivals: Sequence[Arrival]) -> ServeResult:
+        """Serve an arrival sequence to completion."""
+        for earlier, later in zip(arrivals, list(arrivals)[1:]):
+            if later.time < earlier.time:
+                raise ConfigurationError(
+                    "arrivals must be sorted by time "
+                    f"({later.time} < {earlier.time})"
+                )
+        metrics = self.index.dht.metrics
+        responses: list[Response | None] = [None] * len(arrivals)
+        result = ServeResult(responses=[])
+        pending: deque[Arrival] = deque()
+        upcoming = deque(arrivals)
+        started = self.clock.now
+
+        while upcoming or pending:
+            if not pending:
+                # Idle: jump to the next arrival instant.
+                self.clock.advance_to(max(self.clock.now, upcoming[0].time))
+            while upcoming and upcoming[0].time <= self.clock.now:
+                self._admit(upcoming.popleft(), pending, responses, result)
+            if not pending:
+                continue
+
+            batch = self._next_batch(pending, self.config.max_in_flight)
+            executed = execute_batch(
+                self.index, [a.request for a in batch], self.config
+            )
+            self.clock.advance_to(
+                self.clock.now + executed.rounds * self.config.step_seconds
+            )
+            for arrival, response in zip(batch, executed.responses):
+                response.latency = self.clock.now - arrival.time
+                metrics.record_request(response.latency)
+                responses[arrival.index] = response
+                result.executed_order.append(arrival.index)
+            result.batches += 1
+            result.rounds += executed.rounds
+            result.routed_ops += executed.routed_ops
+            result.coalesced_saved += executed.coalesced_saved
+
+        missing = [i for i, r in enumerate(responses) if r is None]
+        if missing:  # defensive: every arrival must resolve exactly once
+            raise ConfigurationError(
+                f"arrivals never resolved: {missing[:5]}..."
+            )
+        result.responses = [r for r in responses if r is not None]
+        result.sim_seconds = self.clock.now - started
+        result.percentiles = metrics.latency_percentiles()
+        return result

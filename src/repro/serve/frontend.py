@@ -1,0 +1,282 @@
+"""Concurrent front-ends: many client sessions, one execution core.
+
+Two adapters expose the serving layer to real concurrency primitives —
+an asyncio event loop and a thread pool — while funnelling every request
+through the same single-dispatcher discipline:
+
+* clients *submit* concurrently; admission control either enqueues the
+  request or raises :class:`~repro.errors.OverloadError` immediately
+  (bounded in-flight window + waiting queue, nothing routed on
+  rejection);
+* exactly one dispatcher (an asyncio task / a daemon thread) drains the
+  queue in batches — a maximal run of point lookups coalesced onto
+  ``multi_get``, or one mutation as a barrier — so the
+  :class:`~repro.core.index.LHTIndex` is only ever driven from one
+  logical thread of control.  That single-dispatcher rule *is* the
+  thread-safety story: the index and substrates need no locks because
+  concurrency stops at the queue.
+
+Time stays simulated (lint rule LHT001 applies to this package): each
+batch advances the shared :class:`~repro.sim.clock.Clock` by
+``rounds * step_seconds`` and latencies are clock deltas, so both
+front-ends agree with :class:`~repro.serve.engine.ServeEngine` on the
+cost model even though their interleavings are scheduler-dependent.
+The executed order is recorded per front-end; whatever order the
+scheduler produced, serial replay in that order must reproduce the
+same answers (``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.index import LHTIndex
+from repro.errors import ConfigurationError, OverloadError
+from repro.serve.service import (
+    Request,
+    Response,
+    ServeConfig,
+    execute_batch,
+)
+from repro.sim.clock import Clock
+
+__all__ = ["AsyncFrontend", "ThreadedFrontend"]
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One enqueued request and the rendezvous its submitter waits on."""
+
+    request: Request
+    arrival: float
+    index: int
+    waiter: Any  # asyncio.Future | threading.Event
+    response: Response | None = None
+
+
+class _FrontendCore:
+    """State the two front-ends share: queue, admission, batch dispatch.
+
+    Subclasses provide the synchronization (event loop vs locks); the
+    core provides the policy, so admission and batching cannot drift
+    between the async and threaded implementations.
+    """
+
+    def __init__(
+        self,
+        index: LHTIndex,
+        config: ServeConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.index = index
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock if clock is not None else Clock()
+        self.executed_order: list[int] = []
+        self._queue: deque[_Pending] = deque()
+        self._in_flight = 0
+        self._submitted = 0
+        self._closed = False
+
+    def _admit(self, request: Request, waiter: Any) -> _Pending:
+        """Enqueue or reject; callers hold the front-end's mutual
+        exclusion (the event loop / the lock)."""
+        if self._closed:
+            raise ConfigurationError("front-end is closed")
+        capacity = self.config.max_in_flight + self.config.max_queue
+        if self._in_flight + len(self._queue) >= capacity:
+            self.index.dht.metrics.record_rejection()
+            raise OverloadError(
+                f"serving window full ({capacity} in flight or queued); "
+                "back off and retry"
+            )
+        pending = _Pending(
+            request=request,
+            arrival=self.clock.now,
+            index=self._submitted,
+            waiter=waiter,
+        )
+        self._submitted += 1
+        self._queue.append(pending)
+        self.index.dht.metrics.record_queue_depth(len(self._queue))
+        return pending
+
+    def _take_batch(self) -> list[_Pending]:
+        """Pop the next batch (callers hold the mutual exclusion)."""
+        batch = [self._queue.popleft()]
+        if batch[0].request.is_read:
+            while (
+                self._queue
+                and self._queue[0].request.is_read
+                and len(batch) < self.config.max_in_flight
+            ):
+                batch.append(self._queue.popleft())
+        self._in_flight = len(batch)
+        return batch
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        """Run one batch and stamp responses (dispatcher only)."""
+        result = execute_batch(
+            self.index, [p.request for p in batch], self.config
+        )
+        self.clock.advance_to(
+            self.clock.now + result.rounds * self.config.step_seconds
+        )
+        for pending, response in zip(batch, result.responses):
+            response.latency = self.clock.now - pending.arrival
+            self.index.dht.metrics.record_request(response.latency)
+            pending.response = response
+            self.executed_order.append(pending.index)
+        self._in_flight = 0
+
+
+class AsyncFrontend(_FrontendCore):
+    """Asyncio front-end: sessions are coroutines, one drainer task.
+
+    Usage::
+
+        async with AsyncFrontend(index) as frontend:
+            record = await frontend.submit(Request(RequestKind.LOOKUP, key))
+
+    ``submit`` raises :class:`~repro.errors.OverloadError` synchronously
+    when the window is full.  The drainer executes batches inline (the
+    batching core is synchronous and fast at simulation scale) and
+    yields to the loop between batches so submitters interleave.
+    """
+
+    def __init__(
+        self,
+        index: LHTIndex,
+        config: ServeConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        super().__init__(index, config, clock)
+        self._wakeup: asyncio.Event | None = None
+        self._drainer: asyncio.Task[None] | None = None
+
+    async def __aenter__(self) -> "AsyncFrontend":
+        self._wakeup = asyncio.Event()
+        self._drainer = asyncio.get_running_loop().create_task(self._drain())
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain outstanding requests, then stop the dispatcher."""
+        self._closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._drainer is not None:
+            await self._drainer
+            self._drainer = None
+
+    async def submit(self, request: Request) -> Response:
+        """Submit one request; resolves when the service answers it."""
+        if self._wakeup is None:
+            raise ConfigurationError(
+                "AsyncFrontend must be entered (async with) before submit"
+            )
+        future: asyncio.Future[Response] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._admit(request, future)  # may raise OverloadError
+        self._wakeup.set()
+        return await future
+
+    async def _drain(self) -> None:
+        if self._wakeup is None:  # pragma: no cover - guarded by __aenter__
+            raise ConfigurationError("drainer started before __aenter__")
+        while True:
+            if not self._queue:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            batch = self._take_batch()
+            self._execute(batch)
+            for pending in batch:
+                if not pending.waiter.cancelled():
+                    pending.waiter.set_result(pending.response)
+            # Yield so submitters waiting on the loop get to run between
+            # batches — this is where concurrent lookups pile into the
+            # queue and the next batch coalesces them.
+            await asyncio.sleep(0)
+
+
+class ThreadedFrontend(_FrontendCore):
+    """Thread-pool front-end: sessions are threads, one dispatcher.
+
+    Usage::
+
+        with ThreadedFrontend(index) as frontend:
+            record = frontend.submit(Request(RequestKind.LOOKUP, key))
+
+    ``submit`` blocks the calling thread until the service answers (or
+    raises :class:`~repro.errors.OverloadError` immediately when the
+    window is full).  All shared state is guarded by one lock; the
+    dispatcher releases it while executing a batch, so submitters can
+    enqueue — and admission can reject — concurrently with execution.
+    """
+
+    def __init__(
+        self,
+        index: LHTIndex,
+        config: ServeConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        super().__init__(index, config, clock)
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._dispatcher: threading.Thread | None = None
+
+    def __enter__(self) -> "ThreadedFrontend":
+        self._dispatcher = threading.Thread(
+            target=self._drain, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain outstanding requests, then stop the dispatcher."""
+        with self._work:
+            self._closed = True
+            self._work.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+
+    def submit(self, request: Request) -> Response:
+        """Submit one request and block until the service answers."""
+        if self._dispatcher is None:
+            raise ConfigurationError(
+                "ThreadedFrontend must be entered (with) before submit"
+            )
+        done = threading.Event()
+        with self._work:
+            pending = self._admit(request, done)  # may raise OverloadError
+            self._work.notify_all()
+        done.wait()
+        if pending.response is None:  # pragma: no cover - defensive
+            raise ConfigurationError("request completed without a response")
+        return pending.response
+
+    def _drain(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue and not self._closed:
+                    self._work.wait()
+                if not self._queue and self._closed:
+                    return
+                batch = self._take_batch()
+            # Lock released: execution proceeds while submitters enqueue.
+            self._execute(batch)
+            for pending in batch:
+                pending.waiter.set()

@@ -1,0 +1,308 @@
+"""Request model, admission policy, and the coalescing batch executor.
+
+The serving layer turns :class:`~repro.core.index.LHTIndex` from a
+library driven by one synchronous client into a *service*: many client
+sessions submit point lookups, inserts, removes, and range queries
+concurrently, and one execution core drives the index safely.  This
+module holds everything the three front-ends share:
+
+* :class:`Request` / :class:`Response` — the service's wire-shaped
+  request/reply pair (answers carry enough to compare byte-for-byte
+  against direct index calls);
+* :class:`ServeConfig` — admission-control bounds (in-flight window +
+  waiting queue), the coalescing switch, and the simulated-latency
+  model;
+* :func:`execute_batch` — the heart of the layer: a maximal run of
+  concurrent point lookups is executed as *lock-stepped* Alg. 2 probe
+  plans (:func:`repro.core.lookup.lookup_plan`), each round's probe
+  names deduplicated into one :meth:`~repro.dht.base.DHT.multi_get`.
+  Because concurrent sessions share hot keys (and different keys share
+  shallow name classes), the batched rounds issue strictly fewer routed
+  gets than per-request sequential search — the saving the
+  ``BENCH_serve.json`` gate banks — while answers stay byte-identical:
+  both paths run the exact same search logic.
+
+Mutations are never coalesced: a write acts as a barrier between read
+runs, so the service's execution order is a *serialization* — replaying
+the same requests serially in executed order reproduces the identical
+index state and answers (``tests/test_serve.py`` pins this).
+
+Deterministic-core rules apply (the ``serve`` package is hermetic by
+lint rule LHT001/LHT007): no wall clock, no global randomness — time is
+the simulated :class:`~repro.sim.clock.Clock` the front-ends advance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.bucket import Record
+from repro.core.index import LHTIndex
+from repro.core.lookup import lookup_plan
+from repro.core.results import LookupResult
+from repro.errors import ConfigurationError, DHTError, LookupError_
+
+__all__ = [
+    "BatchResult",
+    "Request",
+    "RequestKind",
+    "Response",
+    "ServeConfig",
+    "Status",
+    "execute_batch",
+]
+
+
+class RequestKind(enum.Enum):
+    """Operations the service accepts."""
+
+    LOOKUP = "lookup"
+    INSERT = "insert"
+    REMOVE = "remove"
+    RANGE = "range"
+
+
+class Status(enum.Enum):
+    """Terminal states of a submitted request."""
+
+    OK = "ok"
+    ERROR = "error"  # typed DHT/lookup error surfaced as data
+    REJECTED = "rejected"  # admission control; nothing was routed
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One client request.
+
+    ``key`` is the point key (lookup/insert/remove) or the range lower
+    bound; ``hi`` is the range upper bound; ``value`` rides along with
+    inserts.
+    """
+
+    kind: RequestKind
+    key: float
+    value: Any = None
+    hi: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is RequestKind.RANGE and self.hi is None:
+            raise ConfigurationError("range request needs an upper bound")
+
+    @property
+    def is_read(self) -> bool:
+        """Whether the request never mutates the index (coalescable)."""
+        return self.kind is RequestKind.LOOKUP
+
+
+@dataclass(slots=True)
+class Response:
+    """The service's answer to one request.
+
+    ``answer`` is comparable against the direct index call: the found
+    :class:`~repro.core.bucket.Record` (or ``None``) for lookups, the
+    ``deleted`` flag for removes, the inserted leaf's bits for inserts,
+    and the record tuple for ranges.  ``latency`` is simulated seconds
+    from arrival to completion; ``dht_lookups`` the routed operations
+    this request consumed (coalesced probes charge the whole batch, not
+    one request — see :class:`BatchResult`).
+    """
+
+    status: Status
+    answer: Any = None
+    error: str | None = None
+    latency: float = 0.0
+    dht_lookups: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Admission, coalescing, and latency-model parameters.
+
+    Attributes:
+        max_in_flight: Upper bound on requests executed concurrently
+            (the size of one coalesced batch).
+        max_queue: Upper bound on requests waiting for a slot; an
+            arrival past it is rejected with
+            :class:`~repro.errors.OverloadError`.
+        coalesce: Batch concurrent point lookups onto ``multi_get``
+            (off = every request runs its own sequential search; counts
+            then match the direct arm exactly).
+        step_seconds: Simulated duration of one parallel routed round —
+            the latency unit everything else is priced in.
+    """
+
+    max_in_flight: int = 8
+    max_queue: int = 64
+    coalesce: bool = True
+    step_seconds: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1: {self.max_in_flight}"
+            )
+        if self.max_queue < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0: {self.max_queue}"
+            )
+        if self.step_seconds <= 0:
+            raise ConfigurationError(
+                f"step_seconds must be > 0: {self.step_seconds}"
+            )
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """What one executed batch produced.
+
+    Attributes:
+        responses: One per request, in batch order (latency unset — the
+            front-end stamps it, because queueing delay is its to know).
+        rounds: Parallel routed rounds the batch took (its simulated
+            service time is ``rounds * step_seconds``).
+        routed_ops: Routed DHT operations charged while executing.
+        coalesced_saved: Probe gets avoided by dedup across the batch.
+    """
+
+    responses: list[Response]
+    rounds: int
+    routed_ops: int
+    coalesced_saved: int
+
+
+def _finish_lookup(request: Request, result: LookupResult) -> Response:
+    if result.bucket is None:
+        # Alg. 2 failed to converge: inconsistent or unreachable index.
+        return Response(
+            Status.ERROR,
+            error=f"lookup of {request.key} failed to converge",
+            dht_lookups=result.dht_lookups,
+        )
+    record: Record | None = result.bucket.find(request.key)
+    return Response(Status.OK, answer=record, dht_lookups=result.dht_lookups)
+
+
+def _execute_reads(
+    index: LHTIndex, requests: list[Request], coalesce: bool
+) -> BatchResult:
+    """Drive one probe plan per lookup, lock-stepped round by round.
+
+    Each round collects every active plan's next probe name, issues the
+    *unique* names as one ``multi_get``, and feeds the shared replies
+    back — so two sessions probing the same name class pay one routed
+    get between them.  With ``coalesce=False`` the same plans run but
+    every probe is issued individually (the uncoalesced arm of the
+    serving benchmark).
+    """
+    dht = index.dht
+    before = dht.metrics.snapshot()
+    plans = []
+    responses: list[Response | None] = [None] * len(requests)
+    for slot, request in enumerate(requests):
+        plan = lookup_plan(index.config, request.key)
+        try:
+            name = next(plan)
+        except StopIteration as stop:  # zero-probe degenerate plan
+            responses[slot] = _finish_lookup(request, stop.value)
+            continue
+        plans.append((slot, plan, str(name)))
+
+    rounds = 0
+    saved = 0
+    while plans:
+        rounds += 1
+        wanted = [name for _, _, name in plans]
+        unique = list(dict.fromkeys(wanted))
+        saved += len(wanted) - len(unique)
+        if coalesce:
+            try:
+                values = dht.multi_get(unique)
+            except DHTError as exc:
+                # The round failed as a unit; every in-flight lookup in
+                # this batch reports the typed error as data (LHT010).
+                for slot, _plan, _name in plans:
+                    responses[slot] = Response(Status.ERROR, error=str(exc))
+                break
+            by_name = dict(zip(unique, values))
+        else:
+            by_name = {}
+        survivors = []
+        for slot, plan, name in plans:
+            try:
+                if coalesce:
+                    value = by_name[name]
+                else:
+                    value = dht.get(name)
+                next_name = plan.send(value)
+            except StopIteration as stop:
+                responses[slot] = _finish_lookup(requests[slot], stop.value)
+            except DHTError as exc:
+                # Surfaced as data, never silently absorbed (LHT010).
+                responses[slot] = Response(Status.ERROR, error=str(exc))
+            else:
+                survivors.append((slot, plan, str(next_name)))
+        plans = survivors
+
+    spent = dht.metrics.snapshot() - before
+    dht.metrics.record_batch(saved if coalesce else 0)
+    return BatchResult(
+        responses=[r for r in responses if r is not None],
+        rounds=max(rounds, 1),
+        routed_ops=spent.dht_lookups,
+        coalesced_saved=saved if coalesce else 0,
+    )
+
+
+def _execute_write(index: LHTIndex, request: Request) -> BatchResult:
+    """Execute one mutation (or range query) serially via the index."""
+    dht = index.dht
+    before = dht.metrics.snapshot()
+    try:
+        if request.kind is RequestKind.INSERT:
+            result = index.insert(request.key, request.value)
+            response = Response(Status.OK, answer=result.leaf.bits)
+        elif request.kind is RequestKind.REMOVE:
+            deleted = index.delete(request.key).deleted
+            response = Response(Status.OK, answer=deleted)
+        elif request.kind is RequestKind.RANGE:
+            hi = request.hi if request.hi is not None else request.key
+            result = index.range_query(request.key, hi)
+            response = Response(Status.OK, answer=tuple(result.records))
+        else:  # pragma: no cover - dispatch guarded by execute_batch
+            raise ConfigurationError(f"unexpected kind {request.kind}")
+    except (DHTError, LookupError_) as exc:
+        response = Response(Status.ERROR, error=str(exc))
+    spent = dht.metrics.snapshot() - before
+    response.dht_lookups = spent.dht_lookups
+    dht.metrics.record_batch(0)
+    # A mutation's service time: its routed traffic is sequential from
+    # the client's perspective (lookup probes then the put), so bill one
+    # round per routed operation, floor one.
+    return BatchResult(
+        responses=[response],
+        rounds=max(spent.dht_lookups, 1),
+        routed_ops=spent.dht_lookups,
+        coalesced_saved=0,
+    )
+
+
+def execute_batch(
+    index: LHTIndex, requests: list[Request], config: ServeConfig
+) -> BatchResult:
+    """Execute one admitted batch: either a run of reads or one write.
+
+    The front-ends guarantee the shape (all reads, or exactly one
+    non-read); this function enforces it, because violating it would
+    let a mutation race a coalesced round.
+    """
+    if not requests:
+        raise ConfigurationError("cannot execute an empty batch")
+    if len(requests) > 1 and not all(r.is_read for r in requests):
+        raise ConfigurationError(
+            "a batch is either all reads or a single write"
+        )
+    if requests[0].is_read:
+        return _execute_reads(index, requests, config.coalesce)
+    return _execute_write(index, requests[0])

@@ -3,7 +3,8 @@
 The ``bench``-marked tests re-measure the count-based workload of
 :mod:`repro.devtools.benchgate` and fail when any metric regresses more
 than 10% over its checked-in baseline (``BENCH_lookup.json`` /
-``BENCH_range.json`` / ``BENCH_build.json``).  They are excluded from the default (tier-1) run
+``BENCH_range.json`` / ``BENCH_build.json`` / ``BENCH_serve.json``).
+They are excluded from the default (tier-1) run
 by the ``-m "not bench"`` addopts and executed by the CI smoke step::
 
     PYTHONPATH=src python -m pytest tests/test_bench_regression.py -m bench
@@ -85,6 +86,35 @@ class TestBenchGate:
         assert metrics["fast_moved_per_key"] == 0.0
         assert metrics["incremental_moved_per_key"] > 0.5
 
+    def test_serve_counts_within_tolerance(self):
+        current = benchgate.measure_serve()
+        baseline = _load(_ROOT / "BENCH_serve.json")
+        assert current["params"] == baseline["params"], (
+            "serving workload parameters changed — refresh baselines with "
+            "python -m repro.devtools.benchgate --write"
+        )
+        violations = benchgate.compare(
+            current["metrics"], baseline["metrics"]
+        )
+        assert not violations, "\n".join(violations)
+
+    def test_serve_coalescing_strictly_saves(self):
+        """The serving tentpole's headline, pinned: at concurrency ≥ 8
+        the coalesced arm issues strictly fewer routed gets than the
+        uncoalesced arm (measure_serve raises if not), and the saving is
+        exactly the batched dedup count."""
+        current = benchgate.measure_serve()
+        metrics, info = current["metrics"], current["info"]
+        assert (
+            metrics["coalesced_routed_gets"]
+            < metrics["uncoalesced_routed_gets"]
+        )
+        assert info["gets_saved_by_coalescing"] == (
+            metrics["uncoalesced_routed_gets"]
+            - metrics["coalesced_routed_gets"]
+        )
+        assert metrics["latency_p50_s"] <= metrics["latency_p99_s"]
+
     def test_range_respects_paper_bound_with_batching(self):
         """Batching must not change the §6.3 accounting: the per-query
         slack over B stays within the paper's +3, and rounds never
@@ -131,12 +161,14 @@ class TestCompareLogic:
             )
 
     def test_build_baseline_parses_with_ungated_info(self):
-        """BENCH_build.json carries an extra ``info`` section (wall-clock
-        seconds and speedup) that must never enter the gated metrics."""
-        data = _load(_ROOT / "BENCH_build.json")
-        assert set(data) == {"params", "metrics", "info"}
-        assert data["metrics"], "BENCH_build.json has no metrics"
-        assert all(
-            isinstance(v, (int, float)) for v in data["metrics"].values()
-        )
-        assert not set(data["info"]) & set(data["metrics"])
+        """BENCH_build.json and BENCH_serve.json carry an extra ``info``
+        section (wall-clock seconds / throughput — ungated views) that
+        must never enter the gated metrics."""
+        for name in ("BENCH_build.json", "BENCH_serve.json"):
+            data = _load(_ROOT / name)
+            assert set(data) == {"params", "metrics", "info"}
+            assert data["metrics"], f"{name} has no metrics"
+            assert all(
+                isinstance(v, (int, float)) for v in data["metrics"].values()
+            )
+            assert not set(data["info"]) & set(data["metrics"])

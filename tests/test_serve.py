@@ -1,0 +1,455 @@
+"""Serving-layer tests: serve-vs-direct equivalence, coalescing bounds,
+admission control, metrics wiring, and workload determinism.
+
+The central claim (ISSUE satellite 2): pushing a seeded concurrent
+session mix through :mod:`repro.serve` must leave the index in exactly
+the state — and give exactly the answers — that serially replaying the
+same requests in the service's executed order produces.  Coalescing
+must only ever *save* routed gets relative to the direct arm, never
+spend more.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.dht.local import LocalDHT
+from repro.errors import ConfigurationError, OverloadError, ReproError
+from repro.serve import (
+    AsyncFrontend,
+    Request,
+    RequestKind,
+    ServeConfig,
+    ServeEngine,
+    Status,
+    ThreadedFrontend,
+    WorkloadConfig,
+    execute_batch,
+    generate_workload,
+)
+
+SEED = 11
+N_KEYS = 512
+THETA = 50
+
+
+def build_index(seed: int = SEED) -> tuple[LHTIndex, list[float]]:
+    """One deterministic index build; call twice for identical twins."""
+    dht = LocalDHT(n_peers=16, seed=seed)
+    index = LHTIndex(dht, IndexConfig(theta_split=THETA, max_depth=20))
+    rng = np.random.default_rng(seed + 1)
+    keys = [float(k) for k in rng.random(N_KEYS)]
+    index.bulk_load(keys)
+    return index, keys
+
+
+def make_workload(keys, n=200, rate=300.0, seed=SEED, **kwargs):
+    return generate_workload(
+        keys, WorkloadConfig(n_requests=n, rate=rate, **kwargs), seed=seed
+    )
+
+
+def replay_direct(index: LHTIndex, requests):
+    """Serial ground truth: each request via the plain index API."""
+    answers = []
+    for request in requests:
+        if request.kind is RequestKind.LOOKUP:
+            record, _ = index.exact_match(request.key)
+            answers.append(record)
+        elif request.kind is RequestKind.INSERT:
+            answers.append(index.insert(request.key, request.value).leaf.bits)
+        elif request.kind is RequestKind.REMOVE:
+            answers.append(index.delete(request.key).deleted)
+        else:
+            answers.append(
+                tuple(index.range_query(request.key, request.hi).records)
+            )
+    return answers
+
+
+def index_fingerprint(index: LHTIndex):
+    """Canonical view of the stored index: every DHT key and the exact
+    record tuple of every stored bucket."""
+    state = {}
+    for key in sorted(index.dht.keys()):
+        bucket = index.dht.peek(key)
+        state[key] = getattr(bucket, "records", bucket)
+    return index.leaf_count, state
+
+
+class TestServeVsDirectEquivalence:
+    @pytest.mark.parametrize("coalesce", [True, False], ids=["coalesced", "uncoalesced"])
+    def test_engine_matches_serial_replay(self, coalesce):
+        served_index, keys = build_index()
+        workload = make_workload(keys, n=240, rate=250.0)
+        engine = ServeEngine(
+            served_index,
+            ServeConfig(max_in_flight=8, max_queue=64, coalesce=coalesce),
+        )
+        result = engine.run(workload)
+        assert len(result.responses) == len(workload)
+
+        executed = [workload[i] for i in result.executed_order]
+        direct_index, _ = build_index()
+        before = direct_index.dht.metrics.snapshot()
+        expected = replay_direct(direct_index, [a.request for a in executed])
+        direct_spent = direct_index.dht.metrics.snapshot() - before
+
+        for arrival, answer in zip(executed, expected):
+            response = result.responses[arrival.index]
+            assert response.status is Status.OK
+            assert response.answer == answer
+
+        assert index_fingerprint(served_index) == index_fingerprint(
+            direct_index
+        )
+        # Coalescing must only save routed gets, never spend more.
+        served_gets = served_index.dht.metrics.snapshot().gets
+        assert served_gets <= direct_spent.gets
+        if coalesce:
+            assert result.coalesced_saved == direct_spent.gets - served_gets
+
+    def test_coalescing_saves_at_concurrency_8(self):
+        """At a full window of skewed concurrent lookups the dedup must
+        fire: strictly fewer routed gets than the uncoalesced arm."""
+        runs = {}
+        for coalesce in (True, False):
+            index, keys = build_index()
+            workload = make_workload(
+                keys, n=240, rate=400.0, skew=1.2,
+                mix={"lookup": 1.0},
+            )
+            ServeEngine(
+                index,
+                ServeConfig(max_in_flight=8, max_queue=64, coalesce=coalesce),
+            ).run(workload)
+            runs[coalesce] = index.dht.metrics.snapshot().gets
+        assert runs[True] < runs[False]
+
+    def test_rejected_requests_route_nothing(self):
+        index, keys = build_index()
+        workload = make_workload(keys, n=60, rate=10_000.0)
+        result = ServeEngine(
+            index, ServeConfig(max_in_flight=1, max_queue=0)
+        ).run(workload)
+        rejected = [
+            r for r in result.responses if r.status is Status.REJECTED
+        ]
+        assert rejected, "overloaded run produced no rejections"
+        assert all(r.dht_lookups == 0 for r in rejected)
+        snap = index.dht.metrics.snapshot()
+        assert snap.serve_rejections == len(rejected)
+
+
+class TestAdmissionAndMetrics:
+    def test_metrics_wiring(self):
+        index, keys = build_index()
+        workload = make_workload(keys, n=120, rate=500.0)
+        result = ServeEngine(
+            index, ServeConfig(max_in_flight=4, max_queue=8)
+        ).run(workload)
+        metrics = index.dht.metrics
+        completed = len(result.responses) - result.rejected
+        assert metrics.serve_requests == completed
+        assert len(metrics.request_latencies) == completed
+        assert metrics.serve_batches == result.batches
+        assert metrics.serve_coalesced_gets == result.coalesced_saved
+        assert metrics.queue_depth_peak >= 1
+        p = metrics.latency_percentiles()
+        assert 0.0 < p["p50"] <= p["p90"] <= p["p99"]
+        assert result.percentiles == p
+
+    def test_percentiles_empty_sample_is_zero(self):
+        index, _ = build_index()
+        assert index.dht.metrics.latency_percentiles() == {
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_snapshot_carries_serve_counters(self):
+        index, keys = build_index()
+        before = index.dht.metrics.snapshot()
+        ServeEngine(index, ServeConfig()).run(
+            make_workload(keys, n=40, rate=100.0)
+        )
+        spent = index.dht.metrics.snapshot() - before
+        assert spent.serve_requests > 0
+        assert spent.serve_batches > 0
+
+    def test_overload_error_is_typed(self):
+        assert issubclass(OverloadError, ReproError)
+
+
+class TestBatchShape:
+    def test_empty_batch_rejected(self):
+        index, _ = build_index()
+        with pytest.raises(ConfigurationError):
+            execute_batch(index, [], ServeConfig())
+
+    def test_mixed_batch_rejected(self):
+        index, _ = build_index()
+        batch = [
+            Request(RequestKind.LOOKUP, 0.5),
+            Request(RequestKind.INSERT, 0.25, value=1),
+        ]
+        with pytest.raises(ConfigurationError):
+            execute_batch(index, batch, ServeConfig())
+
+    def test_single_write_batch_allowed(self):
+        index, _ = build_index()
+        result = execute_batch(
+            index, [Request(RequestKind.INSERT, 0.25, value=1)], ServeConfig()
+        )
+        assert result.responses[0].status is Status.OK
+
+    def test_unsorted_arrivals_rejected(self):
+        index, keys = build_index()
+        workload = make_workload(keys, n=10, rate=100.0)
+        shuffled = [workload[1], workload[0], *workload[2:]]
+        with pytest.raises(ConfigurationError):
+            ServeEngine(index, ServeConfig()).run(shuffled)
+
+    def test_range_request_needs_upper_bound(self):
+        with pytest.raises(ConfigurationError):
+            Request(RequestKind.RANGE, 0.1)
+
+
+class TestAsyncFrontend:
+    def test_concurrent_sessions_match_direct_answers(self):
+        async def drive():
+            index, keys = build_index()
+            config = ServeConfig(max_in_flight=4, max_queue=256)
+            async with AsyncFrontend(index, config) as frontend:
+                async def session(session_keys):
+                    return [
+                        await frontend.submit(Request(RequestKind.LOOKUP, k))
+                        for k in session_keys
+                    ]
+
+                sessions = [keys[i::8][:12] for i in range(8)]
+                results = await asyncio.gather(*map(session, sessions))
+            return sessions, results, frontend
+
+        sessions, results, frontend = asyncio.run(drive())
+        direct, _ = build_index()
+        for session_keys, responses in zip(sessions, results):
+            for key, response in zip(session_keys, responses):
+                assert response.status is Status.OK
+                record, _ = direct.exact_match(key)
+                assert response.answer == record
+        submitted = sum(len(s) for s in sessions)
+        assert sorted(frontend.executed_order) == list(range(submitted))
+
+    def test_mixed_ops_replay_in_executed_order(self):
+        async def drive():
+            index, keys = build_index()
+            requests = [
+                Request(RequestKind.INSERT, 0.123456, value="x"),
+                Request(RequestKind.LOOKUP, keys[0]),
+                Request(RequestKind.LOOKUP, 0.123456),
+                Request(RequestKind.REMOVE, keys[1]),
+                Request(RequestKind.LOOKUP, keys[1]),
+                Request(RequestKind.RANGE, 0.2, hi=0.25),
+            ]
+            config = ServeConfig(max_in_flight=4, max_queue=64)
+            async with AsyncFrontend(index, config) as frontend:
+                responses = await asyncio.gather(
+                    *(frontend.submit(r) for r in requests)
+                )
+            return index, requests, responses, frontend
+
+        index, requests, responses, frontend = asyncio.run(drive())
+        direct, _ = build_index()
+        executed = [requests[i] for i in frontend.executed_order]
+        expected = replay_direct(direct, executed)
+        by_index = dict(zip(frontend.executed_order, expected))
+        for i, response in enumerate(responses):
+            assert response.status is Status.OK
+            assert response.answer == by_index[i]
+        assert index_fingerprint(index) == index_fingerprint(direct)
+
+    def test_overload_raises_typed_error(self):
+        async def drive():
+            index, keys = build_index()
+            config = ServeConfig(max_in_flight=1, max_queue=1)
+            rejected = 0
+            async with AsyncFrontend(index, config) as frontend:
+                tasks = [
+                    asyncio.ensure_future(
+                        frontend.submit(Request(RequestKind.LOOKUP, k))
+                    )
+                    for k in keys[:12]
+                ]
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            for outcome in outcomes:
+                if isinstance(outcome, OverloadError):
+                    rejected += 1
+                else:
+                    assert outcome.status is Status.OK
+            return rejected, index
+
+        rejected, index = asyncio.run(drive())
+        assert rejected > 0
+        assert index.dht.metrics.serve_rejections == rejected
+
+    def test_submit_before_enter_rejected(self):
+        async def drive():
+            index, keys = build_index()
+            frontend = AsyncFrontend(index)
+            with pytest.raises(ConfigurationError):
+                await frontend.submit(Request(RequestKind.LOOKUP, keys[0]))
+
+        asyncio.run(drive())
+
+
+class TestThreadedFrontend:
+    def test_concurrent_sessions_match_direct_answers(self):
+        index, keys = build_index()
+        config = ServeConfig(max_in_flight=4, max_queue=256)
+        sessions = [keys[i::8][:12] for i in range(8)]
+        out: dict[int, list] = {}
+        with ThreadedFrontend(index, config) as frontend:
+            def run_session(i):
+                out[i] = [
+                    frontend.submit(Request(RequestKind.LOOKUP, k))
+                    for k in sessions[i]
+                ]
+
+            threads = [
+                threading.Thread(target=run_session, args=(i,))
+                for i in range(len(sessions))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        direct, _ = build_index()
+        for i, session_keys in enumerate(sessions):
+            for key, response in zip(session_keys, out[i]):
+                assert response.status is Status.OK
+                record, _ = direct.exact_match(key)
+                assert response.answer == record
+        submitted = sum(len(s) for s in sessions)
+        assert sorted(frontend.executed_order) == list(range(submitted))
+
+    def test_overload_raises_typed_error(self):
+        # A gate holds the dispatcher inside its first batch until every
+        # session thread has attempted admission, so the tiny window
+        # (1 in flight + 1 queued) deterministically rejects the burst.
+        gate = threading.Event()
+
+        class GatedDHT(LocalDHT):
+            def get(self, key):
+                gate.wait()
+                return super().get(key)
+
+        dht = GatedDHT(n_peers=16, seed=SEED)
+        index = LHTIndex(dht, IndexConfig(theta_split=THETA, max_depth=20))
+        rng = np.random.default_rng(SEED + 1)
+        keys = [float(k) for k in rng.random(N_KEYS)]
+        gate.set()
+        index.bulk_load(keys)
+        gate.clear()
+
+        config = ServeConfig(max_in_flight=1, max_queue=1)
+        outcomes: list[object] = []
+        lock = threading.Lock()
+        with ThreadedFrontend(index, config) as frontend:
+            def run_session(key):
+                try:
+                    response = frontend.submit(
+                        Request(RequestKind.LOOKUP, key)
+                    )
+                except OverloadError as exc:
+                    with lock:
+                        outcomes.append(exc)
+                else:
+                    with lock:
+                        outcomes.append(response)
+
+            threads = [
+                threading.Thread(target=run_session, args=(k,))
+                for k in keys[:12]
+            ]
+            for t in threads:
+                t.start()
+            # Open the gate only once all 12 sessions have either been
+            # admitted (and are blocked awaiting a response) or rejected.
+            while True:
+                with lock:
+                    rejected_so_far = sum(
+                        1 for o in outcomes if isinstance(o, OverloadError)
+                    )
+                if rejected_so_far + frontend._submitted >= 12:
+                    break
+            gate.set()
+            for t in threads:
+                t.join()
+        rejected = sum(1 for o in outcomes if isinstance(o, OverloadError))
+        served = [o for o in outcomes if not isinstance(o, OverloadError)]
+        assert all(r.status is Status.OK for r in served)
+        assert rejected + len(served) == 12
+        # Window 1 + queue 1: at most 2 admitted while the gate was shut.
+        assert rejected >= 10
+        assert index.dht.metrics.serve_rejections == rejected
+
+    def test_submit_before_enter_rejected(self):
+        index, keys = build_index()
+        frontend = ThreadedFrontend(index)
+        with pytest.raises(ConfigurationError):
+            frontend.submit(Request(RequestKind.LOOKUP, keys[0]))
+
+
+class TestWorkloadGenerator:
+    def test_same_seed_same_workload(self):
+        _, keys = build_index()
+        a = make_workload(keys, n=100, seed=3)
+        b = make_workload(keys, n=100, seed=3)
+        assert a == b
+
+    def test_different_seed_different_workload(self):
+        _, keys = build_index()
+        a = make_workload(keys, n=100, seed=3)
+        b = make_workload(keys, n=100, seed=4)
+        assert a != b
+
+    def test_arrivals_sorted_and_indexed(self):
+        _, keys = build_index()
+        workload = make_workload(keys, n=100)
+        assert [a.index for a in workload] == list(range(100))
+        times = [a.time for a in workload]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_sessions_round_robin(self):
+        _, keys = build_index()
+        workload = make_workload(keys, n=16, n_sessions=4)
+        assert [a.session for a in workload] == [i % 4 for i in range(16)]
+
+    def test_skew_repeats_hot_keys(self):
+        _, keys = build_index()
+        flat = make_workload(keys, n=300, skew=0.0, mix={"lookup": 1.0})
+        skewed = make_workload(keys, n=300, skew=1.5, mix={"lookup": 1.0})
+        assert len({a.request.key for a in skewed}) < len(
+            {a.request.key for a in flat}
+        )
+
+    def test_mix_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(mix={"lookup": 0.0})
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(mix={"nonsense": 1.0})
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(rate=0.0)
+
+    def test_empty_workload(self):
+        _, keys = build_index()
+        assert make_workload(keys, n=0) == []

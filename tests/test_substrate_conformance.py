@@ -11,7 +11,11 @@ configuration:
   zero DHT-lookups;
 * the sorted-id cache stays coherent across join/leave/fail membership
   changes (Chord and CAN, the dynamic overlays);
-* ``multi_get`` preserves key order and honours ``absorb_errors``.
+* ``multi_get`` preserves key order and honours ``absorb_errors``;
+* ``multi_put`` is byte-equivalent to sequential puts (stored state
+  *and* metrics), charges per key, honours ``absorb_errors``
+  symmetrically with ``multi_get``, and is deliberately **not**
+  forwarded to ``inner`` by any wrapper.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.dht import (
     CANDHT,
     ChordDHT,
     FaultyDHT,
+    LocalDHT,
     ReplicatedDHT,
     SerializingDHT,
 )
@@ -71,11 +76,22 @@ CONFIGS = {
 }
 
 
-@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
-def dht(request) -> DHT:
-    substrate, wrapper = CONFIGS[request.param]
+def _build_config(name: str) -> DHT:
+    substrate, wrapper = CONFIGS[name]
     inner = make_dht(substrate, N_PEERS, SEED)
     return wrapper(inner) if wrapper else inner
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
+def dht(request) -> DHT:
+    return _build_config(request.param)
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
+def dht_pair(request) -> tuple[DHT, DHT]:
+    """Two independently built, identically configured stacks — one for
+    the batched operation under test, one for its sequential twin."""
+    return _build_config(request.param), _build_config(request.param)
 
 
 class TestRoundTrips:
@@ -170,6 +186,188 @@ class TestAbsorbErrors:
             None,
             None,
         ]
+
+
+class TestMultiPut:
+    ITEMS = [(f"p{i}", {"v": i}) for i in range(8)]
+
+    def test_byte_equivalent_to_sequential_puts(self, dht_pair):
+        """One batched round must leave stored state *and* the metrics
+        ledger identical to issuing the same puts sequentially."""
+        batched, sequential = dht_pair
+        batched.multi_put(self.ITEMS)
+        for key, value in self.ITEMS:
+            sequential.put(key, value)
+        for key, value in self.ITEMS:
+            assert batched.get(key) == value
+            assert sequential.get(key) == value
+        assert set(batched.keys()) == set(sequential.keys())
+        assert (
+            batched.metrics.snapshot().to_dict()
+            == sequential.metrics.snapshot().to_dict()
+        )
+
+    def test_returns_stored_flags_in_item_order(self, dht):
+        assert dht.multi_put(self.ITEMS) == [True] * len(self.ITEMS)
+        assert dht.multi_put([]) == []
+
+    def test_last_write_wins_within_a_round(self, dht):
+        dht.multi_put([("k", "first"), ("k", "second")])
+        assert dht.get("k") == "second"
+
+    def test_each_key_charged(self, dht):
+        before = dht.metrics.snapshot()
+        dht.multi_put(self.ITEMS)
+        spent = dht.metrics.since(before)
+        # Replicated stacks charge extra replica puts, but a batched
+        # round charges at least one routed put per item and nothing is
+        # free.
+        assert spent.puts >= len(self.ITEMS)
+        assert spent.dht_lookups >= len(self.ITEMS)
+
+    @pytest.mark.parametrize("name", sorted(SUBSTRATES))
+    def test_bare_substrates_charge_exactly_once_per_key(self, name):
+        dht = make_dht(name, N_PEERS, SEED)
+        before = dht.metrics.snapshot()
+        dht.multi_put(self.ITEMS)
+        spent = dht.metrics.since(before)
+        assert spent.puts == len(self.ITEMS)
+        assert spent.dht_lookups == len(self.ITEMS)
+
+
+class TestMultiPutAbsorbErrors:
+    """``absorb_errors=`` must mirror ``multi_get``: per-key absorption
+    into the failure sentinel (``False`` for puts, ``None`` for gets),
+    propagation of the typed error without the flag."""
+
+    def test_all_failures_absorbed_per_key(self):
+        inner = make_dht("local", N_PEERS, SEED)
+        flaky = FaultyDHT(inner, put_fail_rate=1.0, seed=SEED)
+        assert flaky.multi_put(
+            [("a", 1), ("b", 2)], absorb_errors=True
+        ) == [False, False]
+        assert flaky.get("a") is None and flaky.get("b") is None
+
+    def test_partial_failures_keep_successful_keys(self):
+        inner = make_dht("local", N_PEERS, SEED)
+        flaky = FaultyDHT(inner, put_fail_rate=0.5, seed=SEED)
+        items = [(f"k{i}", i) for i in range(20)]
+        stored = flaky.multi_put(items, absorb_errors=True)
+        assert True in stored and False in stored
+        for (key, value), ok in zip(items, stored):
+            assert flaky.get(key) == (value if ok else None)
+
+    def test_typed_error_propagates_without_flag(self):
+        inner = make_dht("local", N_PEERS, SEED)
+        flaky = FaultyDHT(inner, put_fail_rate=1.0, seed=SEED)
+        with pytest.raises(DHTError):
+            flaky.multi_put([("a", 1), ("b", 2)])
+
+    def test_symmetry_with_multi_get(self):
+        """The two batched ops absorb the same injected fault class the
+        same way: one sentinel per failed key, order preserved."""
+        flaky = FaultyDHT(
+            make_dht("local", N_PEERS, SEED),
+            get_drop_rate=1.0,
+            put_fail_rate=1.0,
+            seed=SEED,
+        )
+        keys = ["a", "b", "c"]
+        puts = flaky.multi_put([(k, 1) for k in keys], absorb_errors=True)
+        gets = flaky.multi_get(keys, absorb_errors=True)
+        assert puts == [False] * len(keys)
+        assert gets == [None] * len(keys)
+
+
+class TestMultiPutCacheInvalidation:
+    """Batched puts must observe membership changes like single puts:
+    the kernel's sorted-id cache is invalidated, so every item lands at
+    a live responsible peer."""
+
+    def _assert_routes_live(self, dht, items):
+        for key, value in items:
+            owner = dht.peer_of(key)
+            assert owner in dht.node_ids
+            assert dht.get(key) == value
+
+    def test_chord_membership_churn_between_rounds(self):
+        dht = ChordDHT(n_peers=12, seed=SEED)
+        first = [(f"a{i}", i) for i in range(10)]
+        dht.multi_put(first)
+        self._assert_routes_live(dht, first)
+
+        dht.join()
+        dht.fail(dht.node_ids[0])
+        dht.stabilize_all(rounds=2)
+        second = [(f"b{i}", i) for i in range(10)]
+        dht.multi_put(second)
+        self._assert_routes_live(dht, second)
+        dht.check_ring()
+
+    def test_can_membership_churn_between_rounds(self):
+        dht = CANDHT(n_peers=10, seed=SEED)
+        first = [(f"a{i}", i) for i in range(10)]
+        dht.multi_put(first)
+        self._assert_routes_live(dht, first)
+
+        dht.join()
+        for victim in list(dht.node_ids):
+            if dht.leave(victim):
+                break
+        second = [(f"b{i}", i) for i in range(10)]
+        dht.multi_put(second)
+        self._assert_routes_live(dht, second)
+        dht.check_partition()
+
+
+class _RecordingInner(LocalDHT):
+    """Substrate that records batched calls reaching it directly."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.multi_put_calls = 0
+        self.multi_get_calls = 0
+
+    def multi_put(self, items, *, absorb_errors=False):
+        self.multi_put_calls += 1
+        return super().multi_put(items, absorb_errors=absorb_errors)
+
+    def multi_get(self, keys, *, absorb_errors=False):
+        self.multi_get_calls += 1
+        return super().multi_get(keys, absorb_errors=absorb_errors)
+
+
+class TestWrapperBatchedOpForwarding:
+    """Wrappers must NOT forward batched ops to ``inner`` even when the
+    inner substrate overrides them: the inherited sequential defaults go
+    through the wrapper's *own* single-key ops, so per-key semantics
+    (fault injection, replication, logging, retries) apply to every item.
+    Forwarding would skip the whole wrapper stack — the regression this
+    class pins (see the DelegatingDHT docstring in repro.dht.kernel)."""
+
+    FACTORIES = {**WRAPPERS, **STACKS}
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES), ids=sorted(FACTORIES))
+    def test_inner_overrides_are_never_invoked(self, name):
+        inner = _RecordingInner(n_peers=N_PEERS, seed=SEED)
+        wrapped = self.FACTORIES[name](inner)
+
+        items = [(f"k{i}", i) for i in range(6)]
+        wrapped.multi_put(items)
+        wrapped.multi_get([key for key, _ in items])
+        assert inner.multi_put_calls == 0
+        assert inner.multi_get_calls == 0
+        for key, value in items:
+            assert wrapped.get(key) == value
+
+    def test_direct_substrate_overrides_still_dispatch(self):
+        """The rule is about wrappers, not dynamic dispatch: calling the
+        substrate directly must use its own override."""
+        inner = _RecordingInner(n_peers=N_PEERS, seed=SEED)
+        inner.multi_put([("k", 1)])
+        inner.multi_get(["k"])
+        assert inner.multi_put_calls == 1
+        assert inner.multi_get_calls == 1
 
 
 class TestCacheInvalidation:
