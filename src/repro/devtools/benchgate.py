@@ -52,6 +52,8 @@ __all__ = [
     "measure_build",
     "measure_serve",
     "measure_substrate_hops",
+    "measure_range_hops",
+    "measure_build_hops",
     "compare",
     "main",
 ]
@@ -80,6 +82,10 @@ _PARAMS = {
     "cache_ample_capacity": 4096,
     "hops_n_peers": 32,
     "hops_n_ops": 64,
+    "hops_index_n_peers": 16,
+    "hops_index_n_keys": 256,
+    "hops_index_theta": 8,
+    "hops_index_n_ranges": 8,
 }
 
 
@@ -173,6 +179,60 @@ def measure_substrate_hops(seed: int = 1) -> dict[str, float]:
     return metrics
 
 
+def _substrate_index(name: str, seed: int) -> LHTIndex:
+    """A small LHT index over one registered substrate (shared shape for
+    the per-substrate range/build hop gates)."""
+    dht = make_dht(
+        name, _PARAMS["hops_index_n_peers"], derive_seed(seed, "bench:hops:index")
+    )
+    config = IndexConfig(
+        theta_split=_PARAMS["hops_index_theta"], max_depth=_PARAMS["max_depth"]
+    )
+    return LHTIndex(dht, config)
+
+
+def _index_keys(seed: int) -> list[float]:
+    rng = np.random.default_rng(derive_seed(seed, "bench:hops:index-keys"))
+    return [float(k) for k in rng.random(_PARAMS["hops_index_n_keys"])]
+
+
+def measure_range_hops(seed: int = 1) -> dict[str, float]:
+    """Routed hops per DHT-lookup during range queries, per substrate.
+
+    Every registered overlay serves the same seeded range workload over
+    the same index shape; the metric isolates the routing cost a range
+    query actually pays on that overlay (index-level get counts are
+    substrate-invariant, so only topology moves these numbers).
+    """
+    keys = _index_keys(seed)
+    metrics: dict[str, float] = {}
+    for name in sorted(SUBSTRATES):
+        index = _substrate_index(name, seed)
+        index.bulk_load(keys)
+        rng = np.random.default_rng(derive_seed(seed, "bench:hops:ranges"))
+        before = index.dht.metrics.snapshot()
+        for _ in range(_PARAMS["hops_index_n_ranges"]):
+            lo = float(rng.uniform(0.0, 0.9))
+            hi = float(min(1.0, lo + rng.uniform(0.01, 0.4)))
+            index.range_query(lo, hi)
+        spent = index.dht.metrics.snapshot() - before
+        metrics[f"hops_per_op_{name}"] = spent.hops / spent.dht_lookups
+    return metrics
+
+
+def measure_build_hops(seed: int = 1) -> dict[str, float]:
+    """Routed hops per DHT-lookup during a fast bulk build, per substrate."""
+    keys = _index_keys(seed)
+    metrics: dict[str, float] = {}
+    for name in sorted(SUBSTRATES):
+        index = _substrate_index(name, seed)
+        before = index.dht.metrics.snapshot()
+        index.bulk_load(keys)
+        spent = index.dht.metrics.snapshot() - before
+        metrics[f"hops_per_op_{name}"] = spent.hops / spent.dht_lookups
+    return metrics
+
+
 def measure_range(seed: int = 1) -> dict:
     """Range-query counts (bandwidth, latency, rounds, B+3 slack)."""
     index, _ = _build(seed, cache_capacity=None)
@@ -196,6 +256,7 @@ def measure_range(seed: int = 1) -> dict:
         "batch_rounds_per_query": totals["rounds"] / n,
         "lookup_slack_per_query": totals["slack"] / n,
     }
+    metrics.update(measure_range_hops(seed))
     return {"params": dict(_PARAMS), "metrics": metrics}
 
 
@@ -235,6 +296,7 @@ def measure_build(seed: int = 1) -> dict:
             )
     if info["fast_build_s"] > 0:
         info["speedup"] = info["incremental_build_s"] / info["fast_build_s"]
+    counts.update(measure_build_hops(seed))
     return {"params": dict(_PARAMS), "metrics": counts, "info": info}
 
 

@@ -51,24 +51,6 @@ def _make_local(n_peers: int, seed: int) -> DHT:
     return LocalDHT(n_peers=n_peers, seed=seed)
 
 
-def _make_chord(n_peers: int, seed: int) -> DHT:
-    from repro.dht.chord import ChordDHT
-
-    return ChordDHT(n_peers=n_peers, seed=seed)
-
-
-def _make_kademlia(n_peers: int, seed: int) -> DHT:
-    from repro.dht.kademlia import KademliaDHT
-
-    return KademliaDHT(n_peers=n_peers, seed=seed)
-
-
-def _make_pastry(n_peers: int, seed: int) -> DHT:
-    from repro.dht.pastry import PastryDHT
-
-    return PastryDHT(n_peers=n_peers, seed=seed)
-
-
 def _make_resilient_local(n_peers: int, seed: int) -> DHT:
     """ResilientDHT over a lossy LocalDHT: exercises the retry/breaker
     layer end-to-end — drops, backoff jitter, and degraded outcomes must
@@ -85,12 +67,16 @@ def _make_resilient_local(n_peers: int, seed: int) -> DHT:
     return ResilientDHT(faulty, seed=derive_seed(seed, "retries"))
 
 
-#: Substrate name -> factory ``(n_peers, seed) -> DHT``.
+def _registry_factories() -> dict[str, Callable[[int, int], DHT]]:
+    from repro.dht.registry import factories
+
+    return factories()
+
+
+#: Substrate name -> factory ``(n_peers, seed) -> DHT``: every substrate
+#: enrolled in ``repro.dht.registry``, plus two wrapper arms.
 SUBSTRATES: dict[str, Callable[[int, int], DHT]] = {
-    "local": _make_local,
-    "chord": _make_chord,
-    "kademlia": _make_kademlia,
-    "pastry": _make_pastry,
+    **_registry_factories(),
     "resilient-local": _make_resilient_local,
     # The cache is index-level, not DHT-level: this arm runs the plain
     # local substrate with ``cache_enabled`` turned on in the IndexConfig

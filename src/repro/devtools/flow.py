@@ -1,7 +1,8 @@
 """Whole-program contract analyzer (``python -m repro.devtools analyze``).
 
-The per-file linter (:mod:`repro.devtools.lint`, LHT001-LHT006) sees one
-module at a time, so any contract that spans modules escapes it: a
+The per-file linter (:mod:`repro.devtools.lint`, LHT001-LHT006 plus the
+registry-enrollment rule LHT012) sees one module — or one parse set — at
+a time, so any contract that spans the call graph escapes it: a
 wall-clock read hidden one helper function away, a peer store mutated
 from an experiment, a broad handler swallowing a typed
 :class:`~repro.errors.DHTError` three calls above the substrate that

@@ -27,6 +27,13 @@ LHT006    Concrete substrates built on
           :class:`repro.dht.kernel.SubstrateBase` do not override the
           kernel-owned storage methods (``put``, ``get``, ``remove``,
           ``peek``, ``local_write``, ``peer_loads``).
+LHT012    Every concrete substrate in ``repro/dht`` is enrolled in
+          :mod:`repro.dht.registry` (a ``register(...)`` call names its
+          class) — the registry is what feeds the conformance, soak,
+          fault, determinism, and benchgate matrices, so an
+          unregistered substrate would silently skip them all.
+          (LHT007-011 are the whole-program rules in
+          ``repro.devtools.flow``.)
 ========  ==============================================================
 
 Violations can be suppressed per line with ``# noqa`` or
@@ -64,6 +71,7 @@ LINT_RULES: dict[str, str] = {
     "LHT004": "mutable default argument",
     "LHT005": "DHT substrate does not implement the full base interface",
     "LHT006": "substrate overrides a kernel-owned storage method",
+    "LHT012": "substrate not enrolled in repro.dht.registry",
 }
 
 #: Methods the peer-store kernel owns; substrates must not re-grow them
@@ -596,6 +604,111 @@ def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
             yield path
 
 
+def _registered_class_names(parsed: list[tuple[Path, ast.Module]]) -> set[str] | None:
+    """Class names passed to ``register(...)`` calls in the dht package.
+
+    Returns ``None`` when no registry module is in the parse set (the
+    rule is then not applicable — e.g. linting a single substrate file).
+    """
+    registry_present = any(
+        path.name == "registry.py" and _in_dht_package(path)
+        for path, _ in parsed
+    )
+    names: set[str] = set()
+    for path, tree in parsed:
+        if not _in_dht_package(path):
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if callee != "register":
+                continue
+            cls_arg: ast.expr | None = None
+            if len(node.args) >= 2:
+                cls_arg = node.args[1]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "cls":
+                        cls_arg = kw.value
+            if isinstance(cls_arg, ast.Name):
+                names.add(cls_arg.id)
+            elif isinstance(cls_arg, ast.Attribute):
+                names.add(cls_arg.attr)
+    if not registry_present and not names:
+        return None
+    return names
+
+
+def _check_registry_enrollment(
+    parsed: list[tuple[Path, ast.Module]]
+) -> list[Violation]:
+    """Concrete SubstrateBase subclasses must be registered (LHT012).
+
+    The registry is the single enrollment point feeding every
+    all-substrates matrix; a class whose base chain reaches
+    ``SubstrateBase`` but never appears in a ``register(...)`` call
+    would silently dodge conformance, soak, fault, determinism, and
+    benchgate coverage.  ``SubstrateBase`` itself and classes declaring
+    their own abstract methods are exempt; wrappers never reach
+    ``SubstrateBase`` (their chain goes through ``DelegatingDHT``).
+    """
+    registered = _registered_class_names(parsed)
+    if registered is None:
+        return []
+    registry: dict[str, _ClassInfo] = {}
+    dht_classes: list[_ClassInfo] = []
+    for path, tree in parsed:
+        for info in _collect_classes(tree, path):
+            registry.setdefault(info.name, info)
+            # The resilience package shares _in_dht_package for LHT005,
+            # but enrollment concerns substrates proper.
+            if "dht" in path.parts[:-1]:
+                dht_classes.append(info)
+    if "SubstrateBase" not in registry:
+        return []  # kernel not in the lint set; rule not applicable
+
+    violations: list[Violation] = []
+    for info in dht_classes:
+        if info.name == "SubstrateBase" or info.abstract_methods:
+            continue
+        seen: set[str] = set()
+        stack = list(info.bases)
+        reaches_kernel = False
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == "SubstrateBase":
+                reaches_kernel = True
+                break
+            cls = registry.get(name)
+            if cls is not None:
+                stack.extend(cls.bases)
+        if reaches_kernel and info.name not in registered:
+            violations.append(
+                Violation(
+                    path=str(info.path),
+                    line=info.line,
+                    col=1,
+                    code="LHT012",
+                    message=(
+                        f"substrate {info.name} is not enrolled in "
+                        "repro.dht.registry — add a register(...) call so "
+                        "the conformance/soak/fault/determinism/benchgate "
+                        "matrices cover it"
+                    ),
+                )
+            )
+    return violations
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     *,
@@ -635,6 +748,7 @@ def lint_paths(
             pass  # already reported as E999 above
     violations.extend(_check_substrates(parsed))
     violations.extend(_check_kernel_overrides(parsed))
+    violations.extend(_check_registry_enrollment(parsed))
 
     if select:
         chosen = {code.upper() for code in select}

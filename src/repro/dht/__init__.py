@@ -13,8 +13,10 @@ from repro.dht.churn import ChurnConfig, ChurnDriver
 from repro.dht.hashing import ID_BITS, ID_SPACE, hash_key, ring_distance
 from repro.dht.kademlia import KademliaDHT, KademliaNode
 from repro.dht.kernel import DelegatingDHT, PeerStore, SubstrateBase
+from repro.dht.koorde import KoordeDHT, KoordeNode
 from repro.dht.local import LocalDHT
 from repro.dht.metrics import MetricsRecorder, MetricsSnapshot
+from repro.dht.onehop import OneHopDHT, OneHopNode
 from repro.dht.pastry import PastryDHT, PastryNode
 from repro.dht.replicated import ReplicatedDHT
 from repro.dht.serializing import SerializingDHT
@@ -40,9 +42,13 @@ __all__ = [
     "DelegatingDHT",
     "PeerStore",
     "SubstrateBase",
+    "KoordeDHT",
+    "KoordeNode",
     "LocalDHT",
     "MetricsRecorder",
     "MetricsSnapshot",
+    "OneHopDHT",
+    "OneHopNode",
     "PastryDHT",
     "PastryNode",
     "ReplicatedDHT",

@@ -14,13 +14,8 @@ import numpy as np
 from repro.baselines.pht import PHTIndex
 from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
+from repro.dht import registry as substrate_registry
 from repro.dht.base import DHT
-from repro.dht.can import CANDHT
-from repro.dht.chord import ChordDHT
-from repro.dht.kademlia import KademliaDHT
-from repro.dht.local import LocalDHT
-from repro.dht.pastry import PastryDHT
-from repro.dht.tapestry import TapestryDHT
 from repro.errors import ConfigurationError
 from repro.sim.rng import derive_seed
 from repro.workloads.datasets import make_keys
@@ -38,26 +33,14 @@ __all__ = [
     "wall_clock_totals",
 ]
 
-#: Substrate factories selectable from the CLI.
-SUBSTRATES: dict[str, Callable[[int, int], DHT]] = {
-    "local": lambda n, seed: LocalDHT(n_peers=n, seed=seed),
-    "can": lambda n, seed: CANDHT(n_peers=n, seed=seed),
-    "chord": lambda n, seed: ChordDHT(n_peers=n, seed=seed),
-    "kademlia": lambda n, seed: KademliaDHT(n_peers=n, seed=seed),
-    "pastry": lambda n, seed: PastryDHT(n_peers=n, seed=seed),
-    "tapestry": lambda n, seed: TapestryDHT(n_peers=n, seed=seed),
-}
+#: Substrate factories selectable from the CLI — drawn from the
+#: registry so every enrolled substrate is an experiment arm.
+SUBSTRATES: dict[str, Callable[[int, int], DHT]] = substrate_registry.factories()
 
 
 def make_dht(substrate: str, n_peers: int, seed: int) -> DHT:
-    """Instantiate a substrate by name."""
-    try:
-        factory = SUBSTRATES[substrate]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown substrate {substrate!r}; choose from {sorted(SUBSTRATES)}"
-        ) from None
-    return factory(n_peers, seed)
+    """Instantiate a substrate by name (delegates to the registry)."""
+    return substrate_registry.make(substrate, n_peers, seed)
 
 
 def trial_rng(seed: int, experiment: str, trial: int) -> np.random.Generator:

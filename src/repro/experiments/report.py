@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 from pathlib import Path
 
@@ -48,7 +49,15 @@ def load_directory(directory: str | Path) -> list[ExperimentResult]:
     if not directory.is_dir():
         raise ConfigurationError(f"not a directory: {directory}")
     results = [load_result(p) for p in sorted(directory.glob("e*.json"))]
-    results.sort(key=lambda r: int(r.experiment_id.lstrip("E")))
+
+    def _id_key(result: ExperimentResult) -> tuple[int, str]:
+        # IDs are "E<number>" with an optional letter suffix for
+        # sub-figures sharing one experiment (E25, E25b, E25c).
+        body = result.experiment_id.lstrip("E")
+        digits = "".join(itertools.takewhile(str.isdigit, body))
+        return int(digits), body[len(digits):]
+
+    results.sort(key=_id_key)
     return results
 
 

@@ -1,0 +1,158 @@
+"""E25 — routing diversity: LHT costs from single-hop to log-hop overlays.
+
+The "any DHT" claim (paper §3, footnote 5) means the index pays the same
+number of DHT-lookups on every substrate while each lookup's physical
+cost is the overlay's routing cost.  The substrate registry makes this
+sweep total: every registered overlay — now spanning both routing
+extremes, from D1HT-style single-hop (exactly 1 hop converged) through
+de Bruijn Koorde (``O(log n / log log n)``) to Chord/Kademlia
+(``O(log n)``) and CAN (``O(sqrt N)``) — runs the same build / point
+lookup / range workload, and each figure reports mean routed hops per
+DHT-lookup in that phase.
+
+Three results, one per phase: E25 (point lookups), E25b (range
+queries), E25c (bulk build).  Index-level DHT-lookup counts are
+asserted identical across all substrates per phase, so the figures
+isolate pure routing cost; substrate rows therefore order by overlay
+diameter (onehop flat at 1.0, koorde between onehop and chord).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import IndexConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.common import (
+    ExperimentResult,
+    SUBSTRATES,
+    Series,
+    build_index,
+    count_query_time,
+    make_dht,
+    trial_rng,
+)
+from repro.workloads.datasets import make_keys
+from repro.workloads.queries import lookup_keys, span_ranges
+
+__all__ = ["run"]
+
+_SCALES = {
+    "ci": {
+        "n_peers": [16, 32],
+        "size": 1 << 9,
+        "n_lookups": 40,
+        "n_ranges": 6,
+        "span": 0.05,
+    },
+    "paper": {
+        "n_peers": [16, 64, 256],
+        "size": 1 << 11,
+        "n_lookups": 120,
+        "n_ranges": 12,
+        "span": 0.05,
+    },
+}
+
+_THETA = 20
+_PHASES = ("build", "lookup", "range")
+
+
+def run(scale: str = "ci", seed: int = 0) -> list[ExperimentResult]:
+    """Routed hops per DHT-lookup, per phase, across every substrate."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(f"unknown scale {scale!r}") from None
+    config = IndexConfig(theta_split=_THETA, max_depth=20)
+
+    hop_series: dict[str, list[Series]] = {phase: [] for phase in _PHASES}
+    reference_cost: dict[tuple[str, int], int] = {}
+    for substrate in sorted(SUBSTRATES):
+        phase_hops: dict[str, list[float]] = {phase: [] for phase in _PHASES}
+        xs: list[float] = []
+        for n_peers in params["n_peers"]:
+            # Identical workload across substrates (the invariance
+            # check depends on it): the stream name omits the substrate.
+            rng = trial_rng(seed, f"routing_diversity:{n_peers}", 0)
+            dht = make_dht(substrate, n_peers, seed)
+            keys = make_keys("uniform", params["size"], rng)
+
+            before = dht.metrics.snapshot()
+            index = build_index("lht", dht, config, keys)
+            delta = dht.metrics.since(before)
+            _bank(substrate, n_peers, "build", delta, phase_hops, reference_cost)
+
+            before = dht.metrics.snapshot()
+            with count_query_time():
+                for probe in lookup_keys(params["n_lookups"], rng):
+                    index.lookup(float(probe))
+            delta = dht.metrics.since(before)
+            _bank(substrate, n_peers, "lookup", delta, phase_hops, reference_cost)
+
+            before = dht.metrics.snapshot()
+            with count_query_time():
+                for query in span_ranges(params["n_ranges"], params["span"], rng):
+                    index.range_query(query.lo, query.hi)
+            delta = dht.metrics.since(before)
+            _bank(substrate, n_peers, "range", delta, phase_hops, reference_cost)
+
+            xs.append(float(n_peers))
+        for phase in _PHASES:
+            hop_series[phase].append(Series(substrate, list(xs), phase_hops[phase]))
+
+    shared = {"scale": scale, "seed": seed, "theta_split": _THETA, **params}
+    notes = (
+        "index-level DHT-lookup counts verified identical across all "
+        f"{len(SUBSTRATES)} registered substrates in every phase; hop "
+        "rows order by overlay diameter (onehop == 1.0 when converged)"
+    )
+    return [
+        ExperimentResult(
+            experiment_id="E25",
+            title="Routing diversity: hops per DHT-lookup (point lookups)",
+            x_label="number of peers",
+            y_label="mean hops per DHT-lookup",
+            params=dict(shared),
+            series=hop_series["lookup"],
+            notes=notes,
+        ),
+        ExperimentResult(
+            experiment_id="E25b",
+            title="Routing diversity: hops per DHT-lookup (range queries)",
+            x_label="number of peers",
+            y_label="mean hops per DHT-lookup",
+            params=dict(shared),
+            series=hop_series["range"],
+            notes=notes,
+        ),
+        ExperimentResult(
+            experiment_id="E25c",
+            title="Routing diversity: hops per DHT-lookup (bulk build)",
+            x_label="number of peers",
+            y_label="mean hops per DHT-lookup",
+            params=dict(shared),
+            series=hop_series["build"],
+            notes=notes,
+        ),
+    ]
+
+
+def _bank(
+    substrate: str,
+    n_peers: int,
+    phase: str,
+    delta,
+    phase_hops: dict[str, list[float]],
+    reference_cost: dict[tuple[str, int], int],
+) -> None:
+    """Record one phase's hops-per-lookup and enforce cost invariance."""
+    if delta.dht_lookups <= 0:
+        raise ReproError(
+            f"{phase} phase issued no DHT-lookups on {substrate} at N={n_peers}"
+        )
+    expected = reference_cost.setdefault((phase, n_peers), delta.dht_lookups)
+    if delta.dht_lookups != expected:
+        raise ReproError(
+            f"index-level {phase} cost differs on {substrate} at "
+            f"N={n_peers}: {delta.dht_lookups} != {expected}"
+        )
+    phase_hops[phase].append(delta.hops / delta.dht_lookups)

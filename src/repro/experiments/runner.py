@@ -41,6 +41,7 @@ from repro.experiments import (
     load_balance,
     minmax_cost,
     range_perf,
+    routing_diversity,
     substrates,
 )
 from repro.experiments import common
@@ -66,6 +67,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str, int], list[ExperimentResult]]]]
     "hotspots": ("E21: query-traffic hot spots", hotspots.run),
     "availability": ("E22: availability vs retry budget", availability.run),
     "cached": ("E23: leaf-cache benefit vs workload skew", cached_lookup.run),
+    "routing-diversity": (
+        "E25: hops per DHT-lookup across all registered substrates",
+        routing_diversity.run,
+    ),
 }
 
 

@@ -1,26 +1,33 @@
 """Standing churn soak: long seeded membership + data churn, invariants
 checked after *every* step.
 
-Tier-2 (``-m soak``) runs long join/leave/fail sequences across all six
-substrates; an unmarked tier-1 smoke runs the same driver briefly so the
-invariants stay exercised on every CI run (including the sanitized leg).
+Tier-2 (``-m soak``) runs long join/leave/fail sequences across every
+registered substrate; an unmarked tier-1 smoke runs the same driver
+briefly so the invariants stay exercised on every CI run (including the
+sanitized leg).
 
 Invariants after each step:
 
 * **PeerStore coherence** — ``node_ids`` sorted and duplicate-free,
   ``n_peers`` consistent, ``peer_loads()`` keyed exactly by the live
   peers, and the per-peer loads summing to the stored key count;
-* **overlay structure** — Chord's ring closes (``check_ring``) and CAN's
-  zones partition the space (``check_partition``) after every membership
-  event;
+* **overlay structure** — Chord's ring closes (``check_ring``), CAN's
+  zones partition the space (``check_partition``), and OneHop's tables
+  stay well-formed (``check_tables``) after every membership event; the
+  OneHop soak deliberately disseminates only one round per step so
+  routes run against *stale* tables (the quarantine/forwarding path),
+  then settles and requires exact table convergence at the end;
 * **routing liveness** — ``peer_of`` always names a live peer;
 * **data** — every tracked key resolves to its last written value
   (after a crash-fail, lost keys are re-put first: a crash may lose
   data, but the overlay must keep routing and accepting writes).
 
-Static substrates (kademlia / pastry / tapestry / local) have no
-membership API; they soak under data churn alone, which still exercises
-the kernel's store bookkeeping on every step.
+Static substrates (kademlia / koorde / pastry / tapestry / local) have
+no membership API; they soak under data churn alone, which still
+exercises the kernel's store bookkeeping on every step.
+
+The substrate list comes from ``repro.dht.registry`` — a newly enrolled
+substrate soaks automatically.
 """
 
 from __future__ import annotations
@@ -28,8 +35,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dht import CANDHT, ChordDHT
-from repro.experiments.common import SUBSTRATES, make_dht
+from repro.dht import CANDHT, ChordDHT, OneHopDHT
+from repro.dht.registry import names as substrate_names
+from repro.experiments.common import make_dht
 
 N_PEERS = 12
 PUTS_PER_STEP = 4
@@ -77,6 +85,28 @@ def membership_step(dht, rng) -> bool:
         dht.stabilize_all(rounds=1)
         dht.check_ring()
         return lost
+    if isinstance(dht, OneHopDHT):
+        op = str(rng.choice(["join", "leave", "fail"]))
+        if dht.n_peers <= 5:
+            op = "join"
+        elif dht.n_peers >= 2 * N_PEERS:
+            op = str(rng.choice(["leave", "fail"]))
+        lost = False
+        if op == "join":
+            joined = dht.join()
+            assert joined in dht.node_ids
+        else:
+            victim = dht.node_ids[int(rng.integers(dht.n_peers))]
+            dht.leave(victim, graceful=(op == "leave"))
+            assert victim not in dht.node_ids
+            lost = op == "fail"
+        # One round per step on purpose: events queue faster than they
+        # land, so routing runs against stale tables (probe/forward
+        # corrections) while remaining exact — the invariants below
+        # still hold on every step.
+        dht.disseminate(rounds=1)
+        dht.check_tables()
+        return lost
     if isinstance(dht, CANDHT):
         if dht.n_peers <= 5 or (
             dht.n_peers < 2 * N_PEERS and rng.random() < 0.5
@@ -123,15 +153,26 @@ def run_soak(name: str, steps: int, seed: int) -> None:
         for key, value in expected.items():
             assert dht.get(key) == value
 
+    if isinstance(dht, OneHopDHT):
+        # Quiesce the event queue: every table must converge exactly,
+        # and converged routing must be back to single-hop.
+        dht.settle()
+        dht.check_tables()
+        assert dht.converged
+        for key in list(expected)[:5]:
+            owner, hops = dht.route(key)
+            assert hops == 1
+            assert owner == dht.peer_of(key)
 
-@pytest.mark.parametrize("name", sorted(SUBSTRATES))
+
+@pytest.mark.parametrize("name", substrate_names())
 def test_churn_smoke(name):
     """Tier-1: a short soak on every substrate, every CI run."""
     run_soak(name, steps=SMOKE_STEPS, seed=23)
 
 
 @pytest.mark.soak
-@pytest.mark.parametrize("name", sorted(SUBSTRATES))
+@pytest.mark.parametrize("name", substrate_names())
 @pytest.mark.parametrize("seed", [1, 2, 3])
 def test_churn_soak_long(name, seed):
     """Tier-2: long seeded churn sequences (``-m soak``)."""

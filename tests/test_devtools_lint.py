@@ -292,6 +292,103 @@ class TestKernelOverrideRule:
         assert codes(lint_paths([src], select=["LHT006"])) == []
 
 
+REGISTRY_REGISTERS_CLEAN = """\
+from clean import CleanDHT
+
+def register(name, cls, factory=None, dynamic=False): ...
+
+register("clean", CleanDHT)
+"""
+
+REGISTRY_REGISTERS_BY_KEYWORD = """\
+from clean import CleanDHT
+
+def register(name, cls, factory=None, dynamic=False): ...
+
+register(name="clean", cls=CleanDHT, dynamic=True)
+"""
+
+REGISTRY_EMPTY = """\
+def register(name, cls, factory=None, dynamic=False): ...
+"""
+
+ABSTRACT_SUBSTRATE_FAMILY = """\
+import abc
+from kernel import SubstrateBase
+
+class FamilyBaseDHT(SubstrateBase):
+    @abc.abstractmethod
+    def route(self, key): ...
+"""
+
+
+class TestRegistryEnrollmentRule:
+    """LHT012: every concrete SubstrateBase subclass in the dht package
+    must appear in a ``register(...)`` call in the registry."""
+
+    def _write_pkg(self, tmp_path, **files: str) -> Path:
+        pkg = tmp_path / "dht"
+        pkg.mkdir()
+        (pkg / "base.py").write_text(BASE_SRC)
+        (pkg / "kernel.py").write_text(KERNEL_SRC)
+        for name, src in files.items():
+            (pkg / f"{name}.py").write_text(src)
+        return pkg
+
+    def test_registered_substrate_is_clean(self, tmp_path):
+        pkg = self._write_pkg(
+            tmp_path,
+            clean=CLEAN_KERNEL_SUBSTRATE,
+            registry=REGISTRY_REGISTERS_CLEAN,
+        )
+        assert codes(lint_paths([pkg], select=["LHT012"])) == []
+
+    def test_keyword_registration_is_clean(self, tmp_path):
+        pkg = self._write_pkg(
+            tmp_path,
+            clean=CLEAN_KERNEL_SUBSTRATE,
+            registry=REGISTRY_REGISTERS_BY_KEYWORD,
+        )
+        assert codes(lint_paths([pkg], select=["LHT012"])) == []
+
+    def test_unregistered_substrate_flagged(self, tmp_path):
+        pkg = self._write_pkg(
+            tmp_path,
+            clean=CLEAN_KERNEL_SUBSTRATE,
+            registry=REGISTRY_EMPTY,
+        )
+        violations = lint_paths([pkg], select=["LHT012"])
+        assert len(violations) == 1
+        assert "CleanDHT" in violations[0].message
+        assert "register" in violations[0].message
+
+    def test_rule_dormant_without_a_registry_module(self, tmp_path):
+        # Linting a substrate file on its own (no registry.py in the
+        # parse set) must not produce false positives.
+        pkg = self._write_pkg(tmp_path, clean=CLEAN_KERNEL_SUBSTRATE)
+        assert codes(lint_paths([pkg], select=["LHT012"])) == []
+
+    def test_abstract_intermediates_exempt(self, tmp_path):
+        pkg = self._write_pkg(
+            tmp_path,
+            family=ABSTRACT_SUBSTRATE_FAMILY,
+            registry=REGISTRY_EMPTY,
+        )
+        assert codes(lint_paths([pkg], select=["LHT012"])) == []
+
+    def test_wrappers_exempt(self, tmp_path):
+        # DelegatingDHT wrappers never reach SubstrateBase, so they are
+        # not substrates and need no enrollment.
+        pkg = self._write_pkg(
+            tmp_path, wrapper=KERNEL_WRAPPER, registry=REGISTRY_EMPTY
+        )
+        assert codes(lint_paths([pkg], select=["LHT012"])) == []
+
+    def test_real_tree_is_clean(self):
+        src = Path(__file__).parent.parent / "src"
+        assert codes(lint_paths([src], select=["LHT012"])) == []
+
+
 class TestNoqaSuppression:
     def test_blanket_noqa(self, tmp_path):
         src = "def f(x=[]):  # noqa\n    return x\n"

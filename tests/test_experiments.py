@@ -152,6 +152,7 @@ class TestRunnerCLI:
             "hotspots",
             "availability",
             "cached",
+            "routing-diversity",
         }
 
     def test_latency_experiment(self):

@@ -16,6 +16,9 @@ The matrix runs each cell twice — raw ``FaultyDHT`` and
 ``ResilientDHT``-wrapped — because the contract must hold identically in
 both arms; the wrapper only changes *how often* the lossy outcomes
 occur, never what kind they are.
+
+The substrate axis iterates ``repro.dht.registry``, so every enrolled
+overlay (all eight) is fault-tested automatically.
 """
 
 from __future__ import annotations
@@ -24,25 +27,14 @@ import numpy as np
 import pytest
 
 from repro.core import IndexConfig, LHTIndex, MatchStatus
-from repro.dht import (
-    CANDHT,
-    ChordDHT,
-    FaultyDHT,
-    KademliaDHT,
-    LocalDHT,
-    PastryDHT,
-    TapestryDHT,
-)
+from repro.dht import FaultyDHT
+from repro.dht.registry import make as make_substrate, names as substrate_names
 from repro.errors import ReproError
 from repro.resilience import ResilientDHT
 
 SUBSTRATES = {
-    "local": lambda: LocalDHT(16, 0),
-    "chord": lambda: ChordDHT(n_peers=16, seed=0),
-    "can": lambda: CANDHT(n_peers=16, seed=0),
-    "kademlia": lambda: KademliaDHT(n_peers=16, seed=0),
-    "pastry": lambda: PastryDHT(n_peers=16, seed=0),
-    "tapestry": lambda: TapestryDHT(n_peers=16, seed=0),
+    name: (lambda name=name: make_substrate(name, 16, 0))
+    for name in substrate_names()
 }
 
 DROP_RATES = (0.05, 0.2, 0.5)

@@ -27,13 +27,18 @@ from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
 from repro.experiments.common import (
     ExperimentResult,
-    SUBSTRATES,
     Series,
     make_dht,
     trial_rng,
 )
 
 GOLDEN_DIR = Path(__file__).parent / "data" / "equivalence"
+
+# The goldens were captured from the pre-kernel tree, which had exactly
+# these six substrates — the matrix stays pinned to them even as the
+# registry grows (OneHop/Koorde post-date the refactor; their index-level
+# cost invariance is enforced per phase by experiment E25 instead).
+GOLDEN_SUBSTRATES = ("can", "chord", "kademlia", "local", "pastry", "tapestry")
 
 SEEDS = (0, 1)
 
@@ -58,7 +63,7 @@ def run_lookup(seed: int) -> ExperimentResult:
     """EQ-A: per-probe lookup cost and total hops, per substrate."""
     cost_series: list[Series] = []
     hop_series: list[Series] = []
-    for substrate in sorted(SUBSTRATES):
+    for substrate in GOLDEN_SUBSTRATES:
         index, keys = _build(substrate, seed)
         rng = trial_rng(seed, f"equiv-probes:{substrate}", 0)
         probes = [keys[int(i)] for i in rng.integers(0, len(keys), _N_PROBES)]
@@ -89,7 +94,7 @@ def run_range(seed: int) -> ExperimentResult:
     """EQ-B: range/min/max costs and total hops, per substrate."""
     cost_series: list[Series] = []
     hop_series: list[Series] = []
-    for substrate in sorted(SUBSTRATES):
+    for substrate in GOLDEN_SUBSTRATES:
         index, _ = _build(substrate, seed)
         rng = trial_rng(seed, f"equiv-ranges:{substrate}", 0)
         before = index.dht.metrics.snapshot()

@@ -1,0 +1,118 @@
+"""Registry completeness and contract tests.
+
+The registry (`repro.dht.registry`) is the single enrollment point:
+every suite that iterates "all substrates" draws from it.  These tests
+close the loop — a concrete ``SubstrateBase`` subclass under
+``src/repro/dht/`` that is *not* registered fails here (and trips lint
+rule LHT012 statically), so a new overlay cannot silently dodge the
+conformance/fault/soak/determinism matrices.  The banked-benchmark
+ordering test pins the acceptance criterion of the routing-diversity
+study: single-hop routes in exactly 1.0 hops, Koorde strictly between
+single-hop and Chord.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import json
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+from repro.dht import ChordDHT
+from repro.dht import registry
+from repro.dht.kernel import SubstrateBase
+from repro.errors import ConfigurationError
+
+import repro.dht
+
+
+def _all_substrate_classes() -> set[type]:
+    """Every concrete SubstrateBase subclass defined in repro.dht."""
+    for mod_info in pkgutil.iter_modules(repro.dht.__path__, "repro.dht."):
+        importlib.import_module(mod_info.name)
+    seen: set[type] = set()
+    stack: list[type] = [SubstrateBase]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub not in seen:
+                seen.add(sub)
+                stack.append(sub)
+    return {
+        cls
+        for cls in seen
+        if cls.__module__.startswith("repro.dht") and not inspect.isabstract(cls)
+    }
+
+
+def test_every_substrate_in_src_is_registered():
+    expected = _all_substrate_classes()
+    registered = {spec.cls for spec in registry.specs()}
+    missing = expected - registered
+    assert not missing, (
+        "SubstrateBase subclasses not enrolled in repro.dht.registry: "
+        f"{sorted(c.__name__ for c in missing)}"
+    )
+    assert registered <= expected, "registry names classes outside repro.dht"
+
+
+def test_registry_lists_all_eight_substrates():
+    assert registry.names() == [
+        "can",
+        "chord",
+        "kademlia",
+        "koorde",
+        "local",
+        "onehop",
+        "pastry",
+        "tapestry",
+    ]
+
+
+@pytest.mark.parametrize("spec", registry.specs(), ids=lambda s: s.name)
+def test_factories_build_working_overlays(spec):
+    dht = registry.make(spec.name, 8, 3)
+    assert isinstance(dht, spec.cls)
+    assert dht.n_peers == 8
+    dht.put("probe", {"v": 1})
+    assert dht.get("probe") == {"v": 1}
+    # The dynamic flag must be truthful: it is what churn-aware suites
+    # branch on.  (CAN supports join/leave only; crash-fail is
+    # Chord/OneHop-specific.)
+    has_membership = all(
+        callable(getattr(dht, attr, None)) for attr in ("join", "leave")
+    )
+    assert spec.dynamic == has_membership
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ConfigurationError, match="unknown substrate"):
+        registry.make("no-such-overlay", 8, 0)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        registry.register("chord", ChordDHT)
+
+
+def test_factories_returns_a_defensive_copy():
+    copy = registry.factories()
+    copy.pop("chord")
+    assert "chord" in registry.factories()
+
+
+def test_banked_hop_metrics_pin_the_routing_extremes():
+    """Acceptance criterion of the routing-diversity study, pinned on
+    the checked-in benchgate baselines: OneHop routes in exactly 1.0
+    hops per op in every phase, and Koorde lands strictly between
+    OneHop and Chord."""
+    root = Path(__file__).resolve().parents[1]
+    for name in ("BENCH_lookup.json", "BENCH_range.json", "BENCH_build.json"):
+        metrics = json.loads((root / name).read_text())["metrics"]
+        onehop = metrics["hops_per_op_onehop"]
+        koorde = metrics["hops_per_op_koorde"]
+        chord = metrics["hops_per_op_chord"]
+        assert onehop == 1.0, name
+        assert onehop < koorde < chord, (name, onehop, koorde, chord)

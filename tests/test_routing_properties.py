@@ -1,0 +1,140 @@
+"""Property tests for the routing-extreme substrates (PR 8 tentpole).
+
+Hypothesis drives random overlays, keys, and churn sequences against
+the two claims the substrates are built on:
+
+* **Koorde** — ``route`` always terminates within the documented de
+  Bruijn hop bound (``route_hop_bound``) and lands on the kernel owner
+  (``peer_of``), for any overlay size, seed, and degree;
+* **OneHop** — on a converged overlay every route costs *exactly* one
+  hop; under arbitrary join/leave/crash sequences routes remain exact
+  (owner always matches ``peer_of``) while tables are stale, and table
+  coherence is fully restored once dissemination quiesces.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dht import KoordeDHT, OneHopDHT
+
+KEYS = st.lists(
+    st.text(st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=8),
+    min_size=1,
+    max_size=6,
+)
+
+
+# ----------------------------------------------------------------------
+# Koorde
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    n_peers=st.integers(1, 48),
+    degree=st.sampled_from([2, 4, 16]),
+    keys=KEYS,
+)
+def test_koorde_route_lands_on_owner_within_bound(seed, n_peers, degree, keys):
+    dht = KoordeDHT(n_peers=n_peers, seed=seed, degree=degree)
+    bound = dht.route_hop_bound()
+    for key in keys:
+        owner, hops = dht.route(key)
+        assert owner == dht.peer_of(key)
+        assert 1 <= hops <= bound
+
+
+@given(seed=st.integers(0, 2**16), n_peers=st.integers(1, 48))
+def test_koorde_pointers_coherent(seed, n_peers):
+    KoordeDHT(n_peers=n_peers, seed=seed).check_pointers()
+
+
+@settings(max_examples=25)
+@given(seed=st.integers(0, 2**10), n_peers=st.sampled_from([16, 32, 48]))
+def test_koorde_mean_hops_track_de_bruijn_diameter(seed, n_peers):
+    """The *average* routed cost stays near log_k(n) + delivery — far
+    under the worst-case bound the route guard allows."""
+    dht = KoordeDHT(n_peers=n_peers, seed=seed)
+    total = 0
+    n_keys = 64
+    for i in range(n_keys):
+        _, hops = dht.route(f"mean-{i}")
+        total += hops
+    # log_16(48) < 2 digit injections + best-start slack + delivery.
+    assert total / n_keys <= 5.0
+
+
+# ----------------------------------------------------------------------
+# OneHop
+# ----------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 2**16), n_peers=st.integers(1, 32), keys=KEYS)
+def test_onehop_converged_routes_exactly_one_hop(seed, n_peers, keys):
+    dht = OneHopDHT(n_peers=n_peers, seed=seed)
+    assert dht.converged
+    for key in keys:
+        owner, hops = dht.route(key)
+        assert hops == 1
+        assert owner == dht.peer_of(key)
+
+
+CHURN_OPS = st.lists(
+    st.tuples(st.sampled_from(["join", "leave", "fail"]), st.integers(0, 2**30)),
+    max_size=12,
+)
+
+
+def _apply_churn(dht: OneHopDHT, ops) -> None:
+    for op, pick in ops:
+        if op == "join" or dht.n_peers <= 2:
+            dht.join()
+        else:
+            victim = dht.node_ids[pick % dht.n_peers]
+            dht.leave(victim, graceful=(op == "leave"))
+        if pick % 2:  # interleave partial dissemination with none
+            dht.disseminate()
+        dht.check_tables()
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    n_peers=st.integers(2, 16),
+    ops=CHURN_OPS,
+    keys=KEYS,
+)
+def test_onehop_routes_stay_exact_under_stale_tables(seed, n_peers, ops, keys):
+    """Mid-churn, tables may be stale — hop counts grow (probes and
+    forwards) but the returned owner is always the true kernel owner."""
+    dht = OneHopDHT(n_peers=n_peers, seed=seed)
+    _apply_churn(dht, ops)
+    for key in keys:
+        owner, hops = dht.route(key)
+        assert hops >= 1
+        assert owner == dht.peer_of(key)
+
+
+@given(seed=st.integers(0, 2**16), n_peers=st.integers(2, 16), ops=CHURN_OPS)
+def test_onehop_tables_cohere_after_any_churn_sequence(seed, n_peers, ops):
+    dht = OneHopDHT(n_peers=n_peers, seed=seed)
+    _apply_churn(dht, ops)
+    dht.settle()
+    dht.check_tables()
+    assert dht.converged
+    for key in ("x", "y", "z"):
+        owner, hops = dht.route(key)
+        assert hops == 1
+        assert owner == dht.peer_of(key)
+
+
+@given(seed=st.integers(0, 2**16), n_peers=st.integers(2, 16))
+def test_onehop_single_join_costs_at_most_one_forward(seed, n_peers):
+    """Bounded staleness: with exactly one quarantined joiner, a stale
+    gateway costs at most one forwarding hop."""
+    dht = OneHopDHT(n_peers=n_peers, seed=seed)
+    dht.join()
+    for i in range(16):
+        owner, hops = dht.route(f"q-{i}")
+        assert hops <= 2
+        assert owner == dht.peer_of(f"q-{i}")

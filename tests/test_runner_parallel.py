@@ -18,9 +18,9 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments.runner import run_experiments
 
-_NAMES = ["eq3", "minmax"]
+_NAMES = ["eq3", "minmax", "routing-diversity"]
 
-_WALL_LINE = re.compile(r"^  (wall: |\[\w+ finished in )")
+_WALL_LINE = re.compile(r"^  (wall: |\[[\w-]+ finished in )")
 
 
 def _normalized_stdout(capsys) -> str:

@@ -1,16 +1,19 @@
 """Parametrized conformance suite over all substrates and wrappers.
 
-The kernel refactor's contract: any :class:`~repro.dht.base.DHT` — six
-substrates, four wrappers, and stacked wrapper combinations — satisfies
-the same observable behaviour, because storage semantics now live in one
-place (:mod:`repro.dht.kernel`).  This suite pins that contract per
+The kernel refactor's contract: any :class:`~repro.dht.base.DHT` —
+every substrate enrolled in :mod:`repro.dht.registry`, the wrappers,
+and stacked wrapper combinations — satisfies the same observable
+behaviour, because storage semantics now live in one place
+(:mod:`repro.dht.kernel`).  The substrate axis iterates the registry,
+so an enrolled substrate joins every matrix here with zero
+substrate-specific skips.  This suite pins that contract per
 configuration:
 
 * put/get/remove round-trips (including overwrite and absent keys);
 * ``local_write`` places fresh keys at the responsible peer and charges
   zero DHT-lookups;
 * the sorted-id cache stays coherent across join/leave/fail membership
-  changes (Chord and CAN, the dynamic overlays);
+  changes (Chord, CAN and OneHop, the dynamic overlays);
 * ``multi_get`` preserves key order and honours ``absorb_errors``;
 * ``multi_put`` is byte-equivalent to sequential puts (stored state
   *and* metrics), charges per key, honours ``absorb_errors``
@@ -28,12 +31,13 @@ from repro.dht import (
     ChordDHT,
     FaultyDHT,
     LocalDHT,
+    OneHopDHT,
     ReplicatedDHT,
     SerializingDHT,
 )
 from repro.dht.base import DHT
+from repro.dht.registry import make as make_dht, names as substrate_names
 from repro.errors import DHTError
-from repro.experiments.common import SUBSTRATES, make_dht
 from repro.resilience import ResilientDHT
 
 N_PEERS = 16
@@ -64,7 +68,7 @@ STACKS = {
 }
 
 CONFIGS = {
-    **{name: (name, None) for name in sorted(SUBSTRATES)},
+    **{name: (name, None) for name in substrate_names()},
     **{
         f"chord+{wname}": ("chord", wfactory)
         for wname, wfactory in sorted(WRAPPERS.items())
@@ -225,7 +229,7 @@ class TestMultiPut:
         assert spent.puts >= len(self.ITEMS)
         assert spent.dht_lookups >= len(self.ITEMS)
 
-    @pytest.mark.parametrize("name", sorted(SUBSTRATES))
+    @pytest.mark.parametrize("name", substrate_names())
     def test_bare_substrates_charge_exactly_once_per_key(self, name):
         dht = make_dht(name, N_PEERS, SEED)
         before = dht.metrics.snapshot()
@@ -422,6 +426,32 @@ class TestCacheInvalidation:
         self._assert_coherent(dht)
         dht.check_partition()
         assert all(dht.get(f"k{i}") == i for i in range(30))
+
+    def test_onehop_join_leave_fail(self):
+        dht = OneHopDHT(n_peers=12, seed=SEED)
+        for i in range(30):
+            dht.put(f"k{i}", i)
+        self._assert_coherent(dht)
+
+        joined = dht.join()
+        assert joined in dht.node_ids
+        self._assert_coherent(dht)
+        # Routes stay exact even before the join event disseminates
+        # (the previous owner forwards during the quarantine window).
+        assert all(dht.get(f"k{i}") == i for i in range(30))
+
+        victim = next(nid for nid in dht.node_ids if nid != joined)
+        dht.leave(victim, graceful=True)
+        assert victim not in dht.node_ids
+        self._assert_coherent(dht)
+        assert all(dht.get(f"k{i}") == i for i in range(30))
+
+        crashed = dht.node_ids[0]
+        dht.fail(crashed)
+        assert crashed not in dht.node_ids
+        self._assert_coherent(dht)
+        dht.settle()
+        dht.check_tables()
 
     def test_peer_of_tracks_membership(self):
         dht = ChordDHT(n_peers=12, seed=SEED)
