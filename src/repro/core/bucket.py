@@ -16,6 +16,7 @@ split fraction ``α`` counts slots, reproducing the paper's
 from __future__ import annotations
 
 import bisect
+import operator
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -24,6 +25,12 @@ from repro.core.label import Label
 from repro.errors import KeyOutOfRangeError
 
 __all__ = ["Record", "LeafBucket"]
+
+#: Sort/bisect key for record stores.  Ordering by the raw float key is
+#: identical to the dataclass ``order=True`` comparison (which compares
+#: ``(key,)`` tuples) but skips the per-comparison tuple construction —
+#: the dominant cost of sorted bulk loads at 2^20 keys.
+RECORD_KEY = operator.attrgetter("key")
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -55,7 +62,9 @@ class LeafBucket:
 
     def __init__(self, label: Label, records: list[Record] | None = None) -> None:
         self._label = label
-        self._records: list[Record] = sorted(records) if records else []
+        self._records: list[Record] = (
+            sorted(records, key=RECORD_KEY) if records else []
+        )
 
     # ------------------------------------------------------------------
     # Structure
@@ -112,18 +121,18 @@ class LeafBucket:
                 f"key {record.key} outside leaf {self._label} interval "
                 f"{self._label.interval}"
             )
-        bisect.insort(self._records, record)
+        bisect.insort(self._records, record, key=RECORD_KEY)
 
     def remove(self, key: float) -> Record | None:
         """Remove and return one record with the given key, or ``None``."""
-        idx = bisect.bisect_left(self._records, Record(key))
+        idx = bisect.bisect_left(self._records, key, key=RECORD_KEY)
         if idx < len(self._records) and self._records[idx].key == key:
             return self._records.pop(idx)
         return None
 
     def find(self, key: float) -> Record | None:
         """Return one record with the given key, or ``None``."""
-        idx = bisect.bisect_left(self._records, Record(key))
+        idx = bisect.bisect_left(self._records, key, key=RECORD_KEY)
         if idx < len(self._records) and self._records[idx].key == key:
             return self._records[idx]
         return None
@@ -135,16 +144,16 @@ class LeafBucket:
         return self._label.contains(key)
 
     def records_in(self, rng: Range) -> list[Record]:
-        """All records whose keys fall in the half-open query range."""
-        lo = bisect.bisect_left(self._records, Record(max(0.0, float(rng.lo))))
-        out: list[Record] = []
-        for record in self._records[lo:]:
-            if not rng.contains(record.key):
-                if record.key >= rng.hi:
-                    break
-                continue
-            out.append(record)
-        return out
+        """All records whose keys fall in the half-open query range.
+
+        The store is sorted by key, so the range is one contiguous run:
+        two bisections against the exact Fraction endpoints (float-vs-
+        Fraction comparisons are exact) bound it without any per-record
+        containment test.
+        """
+        lo = bisect.bisect_left(self._records, rng.lo, key=RECORD_KEY)
+        hi = bisect.bisect_left(self._records, rng.hi, lo=lo, key=RECORD_KEY)
+        return self._records[lo:hi]
 
     def min_record(self) -> Record | None:
         """The record with the smallest key, or ``None`` if empty."""

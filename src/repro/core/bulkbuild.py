@@ -36,9 +36,10 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Any, Iterable, Mapping
 
-from repro.core.bucket import LeafBucket, Record
+from repro.core.bucket import RECORD_KEY, LeafBucket, Record
 from repro.core.config import IndexConfig
 from repro.core.keys import key_bits
 from repro.core.label import Label
@@ -61,7 +62,10 @@ def normalize_items(
         Record(*item) if isinstance(item, tuple) else Record(item)
         for item in items
     ]
-    records.sort()  # Record orders by key alone (payload excluded)
+    # Record orders by key alone (payload excluded); sorting on the raw
+    # float key is the same stable order without a ``(key,)`` tuple
+    # built per comparison — the hottest line of a 2^20-key build.
+    records.sort(key=RECORD_KEY)
     return records
 
 
@@ -112,11 +116,20 @@ def plan_bulk_load(
     }
     changed: set[str] = set()
     split_bits: list[str] = []
-    current: str | None = None  # sorted keys revisit the same leaf
+    # Sorted keys revisit the same leaf ~θ/2 times in a row, so the
+    # covering-leaf walk (a per-record bit-string build pre-PR) only
+    # needs to run when a record exits the current leaf's interval.
+    # The interval is tracked as the integer pair (cur_num, cur_level):
+    # ``cur_num <= key * 2**cur_level < cur_num + 1`` is the exact
+    # containment test (scaling a float by a power of two only shifts
+    # its exponent), identical to ``path.startswith(bits)``.
+    current: str | None = None
+    cur_num = cur_level = 0
 
     for record in records:
-        path = "0" + key_bits(record.key, max_depth - 1)
-        if current is None or not path.startswith(current):
+        key = record.key
+        if current is None or not cur_num <= key * (1 << cur_level) < cur_num + 1:
+            path = "0" + key_bits(key, max_depth - 1)
             current = next(
                 (
                     path[:end]
@@ -126,14 +139,26 @@ def plan_bulk_load(
                 None,
             )
             if current is None:
-                raise LookupError_(f"no known leaf covers {record.key}")
+                raise LookupError_(f"no known leaf covers {key}")
+            cur_level = len(current) - 1
+            cur_num = int(current, 2)
+            changed.add(current)
         bits = current
         store = leaves[bits]
         if len(store) + 1 >= theta and len(bits) < max_depth:
             # Midpoint split (Alg. 1): the right child's lower endpoint
             # is the cut; the store is sorted, so one bisection splits it.
-            boundary = Label(bits).right_child.interval.low
-            cut = bisect.bisect_left(store, boundary, key=lambda r: r.key)
+            # A dyadic boundary with level <= 52 has numerator < 2**52,
+            # so the float quotient is exact and the bisection compares
+            # float-to-float; deeper trees fall back to exact Fractions.
+            child_level = cur_level + 1
+            child_num = 2 * cur_num + 1
+            boundary: float | Fraction = (
+                child_num / (1 << child_level)
+                if child_level <= 52
+                else Fraction(child_num, 1 << child_level)
+            )
+            cut = bisect.bisect_left(store, boundary, key=RECORD_KEY)
             del leaves[bits]
             left, right = bits + "0", bits + "1"
             leaves[left] = store[:cut]
@@ -141,11 +166,19 @@ def plan_bulk_load(
             changed.discard(bits)
             changed.update((left, right))
             split_bits.append(bits)
-            bits = right if path[len(bits)] == "1" else left
+            if key >= boundary:
+                bits, cur_num = right, child_num
+            else:
+                bits, cur_num = left, 2 * cur_num
+            cur_level = child_level
             current = bits
             store = leaves[bits]
-        bisect.insort(store, record)
-        changed.add(bits)
+        # Ascending replay appends in the common case; pre-existing
+        # records with larger keys force a true insertion.
+        if not store or store[-1].key <= key:
+            store.append(record)
+        else:
+            bisect.insort(store, record, key=RECORD_KEY)
 
     return BulkPlan(
         leaves=leaves,

@@ -68,8 +68,15 @@ class DyadicInterval:
         return Fraction(1, 1 << self.level)
 
     def contains(self, key: float) -> bool:
-        """Return whether ``key`` (a data key in [0, 1)) lies in this interval."""
-        return self.low <= Fraction(key) < self.high
+        """Return whether ``key`` (a data key in [0, 1)) lies in this interval.
+
+        Scaling by ``2**level`` only shifts a binary float's exponent
+        (and is exact on Fractions), so the integer comparison below
+        equals the Fraction-endpoint comparison without constructing
+        any Fractions — this is the innermost test of every lookup.
+        """
+        scaled = key * (1 << self.level)
+        return self.numerator <= scaled < self.numerator + 1
 
     def left_half(self) -> "DyadicInterval":
         """The lower/left dyadic child interval."""
@@ -141,7 +148,8 @@ class Range:
 
     def contains(self, key: float) -> bool:
         """Return whether a data key falls inside ``[lo, hi)``."""
-        return self.lo <= Fraction(key) < self.hi
+        key = Fraction(key)
+        return self.lo <= key < self.hi
 
     def intersect(self, interval: DyadicInterval) -> "Range":
         """Clip this range to a dyadic interval."""

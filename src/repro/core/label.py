@@ -27,10 +27,9 @@ interval covered by a node      ``Label.interval``
 
 from __future__ import annotations
 
-from functools import cached_property
 from typing import Iterator
 
-from repro.core.interval import DyadicInterval
+from repro.core.interval import UNIT_INTERVAL, DyadicInterval
 from repro.errors import LabelError
 
 __all__ = ["Label", "VIRTUAL_ROOT", "ROOT"]
@@ -52,12 +51,16 @@ class Label:
     also the left-to-right order of the nodes in the tree).
     """
 
-    __slots__ = ("_bits", "__dict__")
+    __slots__ = ("_bits", "_interval")
 
     def __init__(self, bits: str) -> None:
-        if bits and (set(bits) - _VALID_BITS or bits[0] != "0"):
+        # str.strip("01") is empty iff every character is a valid bit —
+        # one C-level scan instead of a set() build per constructed
+        # label (lookups construct one label per probed length).
+        if bits and (bits[0] != "0" or bits.strip("01")):
             raise LabelError(f"invalid label bits: {bits!r}")
         self._bits = bits
+        self._interval: DyadicInterval | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -187,7 +190,7 @@ class Label:
 
     def extend(self, bits: str) -> "Label":
         """Append several bits at once."""
-        if set(bits) - _VALID_BITS:
+        if bits.strip("01"):
             raise LabelError(f"invalid bits: {bits!r}")
         if self.is_virtual_root and bits and bits[0] != "0":
             raise LabelError("the virtual root has no right child")
@@ -219,17 +222,25 @@ class Label:
     # Geometry
     # ------------------------------------------------------------------
 
-    @cached_property
+    @property
     def interval(self) -> DyadicInterval:
         """The dyadic interval this node covers.
 
         The virtual root and the regular root both cover ``[0, 1)``; below
         the root each bit halves the interval (``0`` keeps the left half).
+
+        Cached in a slot (not ``cached_property``, which would force a
+        per-instance ``__dict__`` back onto this hot value object).
         """
-        space_bits = self._bits[1:]  # the leading 0 is the virtual-root edge
-        if not space_bits:
-            return DyadicInterval(0, 0)
-        return DyadicInterval(int(space_bits, 2), len(space_bits))
+        cached = self._interval
+        if cached is None:
+            space_bits = self._bits[1:]  # leading 0 is the virtual-root edge
+            if not space_bits:
+                cached = UNIT_INTERVAL
+            else:
+                cached = DyadicInterval(int(space_bits, 2), len(space_bits))
+            self._interval = cached
+        return cached
 
     def contains(self, key: float) -> bool:
         """Whether the data key lies in this node's interval."""

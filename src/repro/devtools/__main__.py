@@ -9,7 +9,12 @@ Subcommands:
 * ``determinism`` — the same-seed trace-diff harness (also
   ``python -m repro.devtools.determinism``);
 * ``sanitize`` — run a seeded workload with the runtime sanitizer active
-  and report how many invariant sweeps passed.
+  and report how many invariant sweeps passed;
+* ``profile`` — the deterministic per-phase hot-spot profiler over the
+  paper-scale build/lookup/range workload (also
+  ``python -m repro.devtools.profile``);
+* ``benchgate`` — the count/wall-clock benchmark regression gate (also
+  ``python -m repro.devtools.benchgate``).
 """
 
 from __future__ import annotations
@@ -76,7 +81,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(__doc__)
         print(
             "usage: python -m repro.devtools "
-            "{lint,analyze,determinism,sanitize} ..."
+            "{lint,analyze,determinism,sanitize,profile,benchgate} ..."
         )
         return 0
     command, rest = argv[0], argv[1:]
@@ -88,8 +93,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _determinism.main(rest)
     if command == "sanitize":
         return _run_sanitize(rest)
+    if command == "profile":
+        from repro.devtools import profile as _profile
+
+        return _profile.main(rest)
+    if command == "benchgate":
+        from repro.devtools import benchgate as _benchgate
+
+        return _benchgate.main(rest)
     print(f"unknown subcommand: {command!r} (expected lint, analyze, "
-          f"determinism, or sanitize)")
+          f"determinism, sanitize, profile, or benchgate)")
     return 2
 
 

@@ -10,6 +10,14 @@ a fixed workload and compares them against checked-in baselines
 makes lookups, range queries, bulk builds, or request serving more
 expensive fails a test instead of a human's memory.
 
+The ``scale`` suite (``BENCH_scale.json``) additionally banks the
+*wall-clock* of the paper-scale build/lookup/range workload from
+:mod:`repro.devtools.profile`.  Wall seconds drift with the host, so
+they get a much wider per-profile tolerance band
+(:data:`SCALE_WALL_TOLERANCE`) than the exact counts — the band catches
+an order-of-magnitude hot-path regression without flaking on machine
+noise.
+
 Usage::
 
     python -m repro.devtools.benchgate --check           # gate (default)
@@ -37,20 +45,24 @@ from repro.core.index import LHTIndex
 from repro.dht.local import LocalDHT
 from repro.errors import ReproError
 from repro.experiments.common import SUBSTRATES, make_dht
+from repro.devtools.profile import SCALE_PROFILES, run_scale_phases
 from repro.serve import ServeConfig, ServeEngine, WorkloadConfig, generate_workload
 from repro.sim.rng import derive_seed
 from repro.workloads.queries import zipf_rank_choice
 
 __all__ = [
     "TOLERANCE",
+    "SCALE_WALL_TOLERANCE",
     "LOOKUP_BASELINE",
     "RANGE_BASELINE",
     "BUILD_BASELINE",
     "SERVE_BASELINE",
+    "SCALE_BASELINE",
     "measure_lookup",
     "measure_range",
     "measure_build",
     "measure_serve",
+    "measure_scale",
     "measure_substrate_hops",
     "measure_range_hops",
     "measure_build_hops",
@@ -61,11 +73,30 @@ __all__ = [
 #: Allowed relative regression before the gate fails.
 TOLERANCE = 0.10
 
+#: Allowed relative wall-clock regression for the ``scale`` suite, per
+#: workload shape.  Wall seconds are host-dependent, so the bands are
+#: wide: the banked ``full`` numbers may double before the gate trips,
+#: and the sub-second ``smoke`` shape (where fixed overheads dominate)
+#: may quadruple — loose enough for CI runners, tight enough that
+#: reverting the hot-path work (a ~4x build slowdown) still fails.
+SCALE_WALL_TOLERANCE = {"full": 1.0, "smoke": 3.0}
+
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 LOOKUP_BASELINE = _REPO_ROOT / "BENCH_lookup.json"
 RANGE_BASELINE = _REPO_ROOT / "BENCH_range.json"
 BUILD_BASELINE = _REPO_ROOT / "BENCH_build.json"
 SERVE_BASELINE = _REPO_ROOT / "BENCH_serve.json"
+SCALE_BASELINE = _REPO_ROOT / "BENCH_scale.json"
+
+#: Pre-PR phase wall-clock on the reference host, measured at the tip of
+#: the serving-layer PR (the commit before the hot-path overhaul) with
+#: the exact workload of :data:`repro.devtools.profile.SCALE_PROFILES`.
+#: Recorded so every ``scale`` measurement reports its speedup against
+#: the state this PR optimised — informational, never gated.
+_PRE_PR_WALL_S = {
+    "full": {"build_s": 10.4015, "lookup_s": 0.8081, "range_s": 0.1482},
+    "smoke": {"build_s": 0.0817, "lookup_s": 0.0673, "range_s": 0.0016},
+}
 
 #: Fixed workload shape — the baselines are only comparable against the
 #: exact same parameters, so they are recorded alongside the metrics.
@@ -411,6 +442,44 @@ def measure_serve(seed: int = 1) -> dict:
     return {"params": dict(_SERVE_PARAMS), "metrics": metrics, "info": info}
 
 
+def measure_scale(seed: int = 1, profile: str = "full") -> dict:
+    """Paper-scale wall-clock and counts for one workload shape.
+
+    Runs the shared :func:`repro.devtools.profile.run_scale_phases`
+    pipeline (2^20 keys over 1024 peers at ``full`` scale) without the
+    profiler and returns two gated sections: ``counts`` (exact,
+    seed-reproducible — leaf count, routed lookup gets, range records —
+    gated at :data:`TOLERANCE`) and ``wall_s`` (per-phase seconds, gated
+    at the wide :data:`SCALE_WALL_TOLERANCE` band for the shape).
+    ``info`` records the pre-PR wall-clock and the resulting speedups.
+    """
+    if profile not in SCALE_PROFILES:
+        raise ReproError(f"unknown scale profile {profile!r}")
+    params = dict(SCALE_PROFILES[profile])
+    params["seed"] = seed
+    phases = run_scale_phases(params)
+    counts: dict[str, float] = {}
+    wall: dict[str, float] = {}
+    for phase in phases:
+        wall[f"{phase.name}_s"] = round(phase.seconds, 4)
+        counts.update(phase.counts)
+    info = {
+        f"pre_pr_{name}": value for name, value in _PRE_PR_WALL_S[profile].items()
+    }
+    for name, value in wall.items():
+        if value > 0:
+            info[f"{name[:-2]}_speedup_vs_pre_pr"] = round(
+                _PRE_PR_WALL_S[profile][name] / value, 2
+            )
+    return {
+        "profile": profile,
+        "params": params,
+        "counts": counts,
+        "wall_s": wall,
+        "info": info,
+    }
+
+
 def compare(
     current: Mapping[str, float],
     baseline: Mapping[str, float],
@@ -452,6 +521,56 @@ def _check_file(path: Path, current: dict) -> list[str]:
     ]
 
 
+def _check_scale(path: Path, current: dict) -> list[str]:
+    """Gate one scale measurement against its profile's baseline section.
+
+    ``BENCH_scale.json`` differs from the other baselines: it holds one
+    section per workload shape (so the CI smoke leg and the banked full
+    run share a file), and its wall-clock block is gated at the wide
+    per-shape band rather than :data:`TOLERANCE`.
+    """
+    if not path.exists():
+        return [f"{path.name}: baseline missing (run --write)"]
+    profile = current["profile"]
+    section = json.loads(path.read_text()).get("profiles", {}).get(profile)
+    if section is None:
+        return [
+            f"{path.name}: no baseline for profile {profile!r}; "
+            "refresh with --write"
+        ]
+    if section.get("params") != current["params"]:
+        return [
+            f"{path.name}: workload parameters changed; refresh with --write"
+        ]
+    failures = [
+        f"{path.name}: {v}"
+        for v in compare(current["counts"], section["counts"])
+    ]
+    failures.extend(
+        f"{path.name}: {v}"
+        for v in compare(
+            current["wall_s"], section["wall_s"], SCALE_WALL_TOLERANCE[profile]
+        )
+    )
+    return failures
+
+
+def _write_scale(path: Path, current: dict) -> None:
+    """Merge one profile's section into ``BENCH_scale.json``.
+
+    Other profiles' banked sections are preserved, so refreshing the
+    smoke shape never discards the (expensive) full-scale numbers.
+    """
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.setdefault("profiles", {})[current["profile"]] = {
+        "params": current["params"],
+        "counts": current["counts"],
+        "wall_s": current["wall_s"],
+        "info": current["info"],
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchgate",
@@ -469,10 +588,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=_PARAMS["seed"])
     parser.add_argument(
         "--only",
-        choices=("lookup", "range", "build", "serve"),
+        choices=("lookup", "range", "build", "serve", "scale"),
         action="append",
         default=None,
-        help="measure only these gates (repeatable; default: all)",
+        help="measure only these gates (repeatable; default: all but "
+        "the paper-scale wall-clock suite)",
+    )
+    parser.add_argument(
+        "--scale-profile",
+        choices=sorted(SCALE_PROFILES),
+        default="full",
+        help="workload shape for the scale suite (default: full)",
     )
     args = parser.parse_args(argv)
 
@@ -481,21 +607,37 @@ def main(argv: list[str] | None = None) -> int:
         "range": (RANGE_BASELINE, measure_range),
         "build": (BUILD_BASELINE, measure_build),
         "serve": (SERVE_BASELINE, measure_serve),
+        "scale": (
+            SCALE_BASELINE,
+            lambda seed: measure_scale(seed, args.scale_profile),
+        ),
     }
-    chosen = args.only if args.only else list(suites)
+    # The scale suite times a 2^20-key build, so the default run keeps
+    # to the count gates; opt in with ``--only scale``.
+    chosen = args.only if args.only else [n for n in suites if n != "scale"]
     measurements = {
         suites[name][0]: suites[name][1](args.seed) for name in chosen
     }
     if args.write:
         for path, current in measurements.items():
-            path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+            if "profile" in current:
+                _write_scale(path, current)
+            else:
+                path.write_text(
+                    json.dumps(current, indent=2, sort_keys=True) + "\n"
+                )
             print(f"wrote {path}")
         return 0
 
     failures: list[str] = []
     for path, current in measurements.items():
-        failures.extend(_check_file(path, current))
-        for name, value in current["metrics"].items():
+        if "profile" in current:
+            failures.extend(_check_scale(path, current))
+            shown = {**current["counts"], **current["wall_s"]}
+        else:
+            failures.extend(_check_file(path, current))
+            shown = current["metrics"]
+        for name, value in shown.items():
             print(f"{path.name}: {name} = {value:.4f}")
     if failures:
         for failure in failures:

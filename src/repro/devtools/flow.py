@@ -24,7 +24,8 @@ LHT008    Kernel encapsulation — the :class:`repro.dht.kernel.PeerStore`
           storage surface (``store_of``, ``find_holder``, ``all_keys``,
           ``loads``, private attributes) is touched only from the kernel
           module itself; the membership surface (``add_peer``,
-          ``remove_peer``, ``is_live``, ``sorted_ids``) only from
+          ``remove_peer``, ``is_live``, ``sorted_ids``,
+          ``successor_of``) only from
           substrate modules inside ``repro.dht``.
 LHT009    Route purity — substrate ``route``/``route_point``/``route_id``
           implementations (and every helper they reach) must not mutate
@@ -115,12 +116,12 @@ ANALYZER_RULES: dict[str, str] = {
 #: PeerStore methods/attributes only the kernel module may touch.
 PEERSTORE_STORAGE_SURFACE = frozenset(
     {"store_of", "find_holder", "all_keys", "loads", "_stores",
-     "_sorted_cache"}
+     "_sorted_ids"}
 )
 
 #: PeerStore membership methods substrates (repro.dht.*) may use.
 PEERSTORE_MEMBERSHIP_SURFACE = frozenset(
-    {"add_peer", "remove_peer", "is_live", "sorted_ids"}
+    {"add_peer", "remove_peer", "is_live", "sorted_ids", "successor_of"}
 )
 
 #: Kernel-owned storage methods a route path may never call on self.

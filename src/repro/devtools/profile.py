@@ -1,0 +1,294 @@
+"""Deterministic cProfile/timeit harness over the paper-scale hot paths.
+
+Wall-clock optimisation without a profile is guesswork, and a profile
+that changes shape between runs is noise.  This module fixes both: one
+seeded workload (2^20 keys over a ≥1k-peer ring at ``full`` scale, a
+reduced ``smoke`` shape for CI) is driven through the three phases the
+ROADMAP prices — bulk **build**, Zipf-skewed exact-match **lookup**, and
+narrow **range** sweeps — and each phase runs under :mod:`cProfile`.
+
+The hot-spot report ranks functions by *call count*, which is a pure
+function of the seed, and only displays the measured times alongside —
+so the ranking is byte-stable across same-seed runs on any host, while
+the seconds tell you where they went.  ``tests/test_profile.py`` pins
+that stability.
+
+The workload builders here are shared with the benchgate ``scale``
+suite (:func:`repro.devtools.benchgate.measure_scale`): the gate banks
+the phase wall-clock and counts, the profiler explains them.
+
+Usage::
+
+    python -m repro.devtools profile            # full scale (~10s pre-PR)
+    python -m repro.devtools profile --smoke    # CI shape, sub-second
+    python -m repro.devtools profile --json     # machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.config import IndexConfig
+from repro.core.index import LHTIndex
+from repro.dht.local import LocalDHT
+from repro.sim.rng import derive_seed
+from repro.workloads.queries import zipf_rank_choice
+
+__all__ = [
+    "SCALE_PROFILES",
+    "PhaseResult",
+    "run_scale_phases",
+    "format_report",
+    "main",
+]
+
+#: The two workload shapes.  ``full`` is the banked paper-scale run
+#: (2^20 keys, 1024 peers); ``smoke`` is the same pipeline small enough
+#: for a CI leg.  Baselines are only comparable against identical
+#: parameters, so benchgate records the shape next to its numbers.
+SCALE_PROFILES: dict[str, dict[str, Any]] = {
+    "smoke": {
+        "seed": 1,
+        "n_keys": 1 << 14,
+        "n_peers": 128,
+        "n_probes": 2000,
+        "n_ranges": 8,
+        "theta_split": 100,
+        "max_depth": 24,
+        "probe_skew": 1.1,
+        "range_lo_max": 0.99,
+        "range_width_min": 0.0005,
+        "range_width_max": 0.002,
+    },
+    "full": {
+        "seed": 1,
+        "n_keys": 1 << 20,
+        "n_peers": 1024,
+        "n_probes": 20000,
+        "n_ranges": 32,
+        "theta_split": 100,
+        "max_depth": 24,
+        "probe_skew": 1.1,
+        "range_lo_max": 0.99,
+        "range_width_min": 0.0005,
+        "range_width_max": 0.002,
+    },
+}
+
+
+@dataclass(slots=True)
+class PhaseResult:
+    """One profiled phase: wall seconds, workload counts, hot spots.
+
+    ``hotspots`` rows are ``{"function", "calls", "tottime_s",
+    "cumtime_s"}`` ranked by descending call count (ties broken by
+    function name) — the deterministic ordering; times are informative
+    only.
+    """
+
+    name: str
+    seconds: float
+    counts: dict[str, float]
+    hotspots: list[dict[str, Any]] = field(default_factory=list)
+
+
+def _normalize_function(filename: str, line: int, func: str) -> str:
+    """A host-independent display name for one profiled function."""
+    if filename.startswith("~") or filename.startswith("<"):
+        return f"<builtin>:{func}"
+    parts = Path(filename).parts
+    for anchor in ("repro", "site-packages"):
+        if anchor in parts:
+            tail = "/".join(parts[parts.index(anchor):])
+            return f"{tail}:{line}:{func}"
+    return f"{Path(filename).name}:{line}:{func}"
+
+
+def _hotspots(profiler: cProfile.Profile, top: int) -> list[dict[str, Any]]:
+    profiler.create_stats()
+    rows = [
+        {
+            "function": _normalize_function(*key),
+            "calls": int(nc),
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        }
+        for key, (cc, nc, tt, ct, _callers) in profiler.stats.items()  # type: ignore[attr-defined]
+    ]
+    rows.sort(key=lambda r: (-r["calls"], r["function"]))
+    return rows[:top]
+
+
+def run_scale_phases(
+    params: dict[str, Any],
+    *,
+    profile_phases: bool = False,
+    top: int = 12,
+) -> list[PhaseResult]:
+    """Run the build/lookup/range phases of one scale workload.
+
+    With ``profile_phases=False`` (the benchgate path) each phase is
+    timed only; with ``True`` each phase also runs under its own
+    :class:`cProfile.Profile` and reports its ``top`` hot spots.
+    Workload generation (key draws, probe streams, range endpoints) sits
+    *outside* the timed sections, so the phases measure index work only.
+    """
+    seed = params["seed"]
+    rng = np.random.default_rng(derive_seed(seed, "scale:keys"))
+    keys = [float(k) for k in rng.random(params["n_keys"])]
+    dht = LocalDHT(n_peers=params["n_peers"], seed=derive_seed(seed, "scale:sub"))
+    index = LHTIndex(
+        dht,
+        IndexConfig(
+            theta_split=params["theta_split"], max_depth=params["max_depth"]
+        ),
+    )
+    phases: list[PhaseResult] = []
+
+    def timed(name: str, fn: Callable[[], Any]) -> Any:
+        profiler = cProfile.Profile() if profile_phases else None
+        started = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
+        out = fn()
+        if profiler is not None:
+            profiler.disable()
+        seconds = time.perf_counter() - started
+        phases.append(
+            PhaseResult(
+                name=name,
+                seconds=seconds,
+                counts={},
+                hotspots=_hotspots(profiler, top) if profiler else [],
+            )
+        )
+        return out
+
+    timed("build", lambda: index.bulk_load(keys, fast=True))
+    phases[-1].counts = {"leaves": float(index.leaf_count)}
+
+    prng = np.random.default_rng(derive_seed(seed, "scale:probes"))
+    probes = [
+        float(k)
+        for k in zipf_rank_choice(
+            np.asarray(keys), params["probe_skew"], params["n_probes"], prng
+        )
+    ]
+    before = dht.metrics.snapshot()
+
+    def lookup() -> None:
+        for key in probes:
+            index.exact_match(key)
+
+    timed("lookup", lookup)
+    phases[-1].counts = {
+        "lookup_gets": float((dht.metrics.snapshot() - before).gets)
+    }
+
+    rrng = np.random.default_rng(derive_seed(seed, "scale:ranges"))
+    spans = [
+        (
+            lo := float(rrng.uniform(0.0, params["range_lo_max"])),
+            float(
+                min(
+                    1.0,
+                    lo
+                    + rrng.uniform(
+                        params["range_width_min"], params["range_width_max"]
+                    ),
+                )
+            ),
+        )
+        for _ in range(params["n_ranges"])
+    ]
+
+    def ranges() -> int:
+        got = 0
+        for lo, hi in spans:
+            got += len(index.range_query(lo, hi).records)
+        return got
+
+    got = timed("range", ranges)
+    phases[-1].counts = {"range_records": float(got)}
+    return phases
+
+
+def format_report(profile_name: str, phases: list[PhaseResult]) -> str:
+    """Human-readable per-phase hot-spot report."""
+    lines = [f"scale profile '{profile_name}'"]
+    for phase in phases:
+        counts = ", ".join(f"{k}={v:g}" for k, v in sorted(phase.counts.items()))
+        lines.append(f"\n== {phase.name}: {phase.seconds:.4f}s  ({counts})")
+        if phase.hotspots:
+            lines.append(
+                f"{'calls':>10}  {'tottime':>9}  {'cumtime':>9}  function"
+            )
+            for row in phase.hotspots:
+                lines.append(
+                    f"{row['calls']:>10}  {row['tottime_s']:>9.4f}  "
+                    f"{row['cumtime_s']:>9.4f}  {row['function']}"
+                )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools profile",
+        description="Deterministic per-phase hot-spot profiler over the "
+        "paper-scale build/lookup/range workload.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced CI shape instead of the full 2^20-key scale",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(SCALE_PROFILES),
+        default=None,
+        help="explicit workload shape (overrides --smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--top", type=int, default=12, help="hot spots shown per phase"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    name = args.profile or ("smoke" if args.smoke else "full")
+    params = dict(SCALE_PROFILES[name])
+    if args.seed is not None:
+        params["seed"] = args.seed
+    phases = run_scale_phases(params, profile_phases=True, top=args.top)
+    if args.json:
+        payload = {
+            "profile": name,
+            "params": params,
+            "phases": [
+                {
+                    "name": p.name,
+                    "seconds": p.seconds,
+                    "counts": p.counts,
+                    "hotspots": p.hotspots,
+                }
+                for p in phases
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report(name, phases))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

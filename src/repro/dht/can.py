@@ -101,7 +101,7 @@ class Zone:
         return touching_dims == 1
 
 
-@dataclass
+@dataclass(slots=True)
 class CANNode:
     """One CAN peer: identifier, owned zone, neighbor set, key store."""
 

@@ -12,10 +12,12 @@ and hop count immediately); the *maintenance* protocol is driven either
 manually (:meth:`ChordDHT.stabilize_all`) or by the discrete-event churn
 driver in :mod:`repro.dht.churn`.
 
-Storage, metrics charging, and the sorted-ring cache live in the shared
-peer-store kernel (:mod:`repro.dht.kernel`); this module contains only
-what is Chord: the routing geometry and the membership/stabilization
-protocol.
+Storage, metrics charging, and the array-backed sorted-ring index live
+in the shared peer-store kernel (:mod:`repro.dht.kernel`); this module
+contains only what is Chord: the routing geometry and the
+membership/stabilization protocol.  Join and leave cost one incremental
+index splice (``bisect.insort`` / positional delete) in the kernel, not
+a full ring re-sort.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
 __all__ = ["ChordDHT", "ChordNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChordNode:
     """One Chord peer: identifier, pointers, finger table, and key store."""
 
@@ -121,7 +123,7 @@ class ChordDHT(SubstrateBase):
         Used for initial construction and by tests that need a converged
         ring without running stabilization rounds.
         """
-        ordered = sorted(self._nodes)
+        ordered = self.peers.sorted_ids()
         n = len(ordered)
         for idx, node_id in enumerate(ordered):
             node = self._nodes[node_id]
@@ -202,8 +204,7 @@ class ChordDHT(SubstrateBase):
         return self.find_successor(self._gateway(), kid)
 
     def peer_of(self, key: str) -> int:
-        kid = hash_key(key, self.id_bits)
-        return self._exact_successor(self.peers.sorted_ids(), kid)
+        return self.peers.successor_of(hash_key(key, self.id_bits))
 
     # ------------------------------------------------------------------
     # Membership protocol
@@ -260,7 +261,7 @@ class ChordDHT(SubstrateBase):
             self._unregister(node_id)  # successor search must skip the leaver
             succ_id = next((s for s in node.successors if self._alive(s)), None)
             if succ_id is None:
-                succ_id = self._exact_successor(self.peers.sorted_ids(), node_id)
+                succ_id = self.peers.successor_of(node_id)
             succ = self._nodes[succ_id]
             succ.store.update(node.store)
             self.keys_transferred += len(node.store)

@@ -8,6 +8,7 @@ implement modular ring arithmetic.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 __all__ = [
     "ID_BITS",
@@ -25,10 +26,22 @@ ID_BITS = 160
 ID_SPACE = 1 << ID_BITS
 
 
+@lru_cache(maxsize=1 << 17)
+def _digest_of(key: str) -> int:
+    """Full 160-bit SHA-1 digest of ``key``, memoized.
+
+    Coalesced ``multi_get``/``multi_put`` rounds and the LHT lookup's
+    binary search hash the same name-class keys over and over; caching
+    the full-width digest lets every truncation width share one SHA-1
+    evaluation.  SHA-1 is a pure function of the key, so memoization
+    cannot change any result.
+    """
+    return int.from_bytes(hashlib.sha1(key.encode()).digest(), "big")
+
+
 def hash_key(key: str, bits: int = ID_BITS) -> int:
     """SHA-1 hash of a string key, truncated to ``bits`` bits."""
-    digest = hashlib.sha1(key.encode()).digest()
-    value = int.from_bytes(digest, "big")
+    value = _digest_of(key)
     return value >> (160 - bits) if bits < 160 else value
 
 

@@ -32,7 +32,7 @@ from repro.errors import ConfigurationError, RoutingError
 __all__ = ["KademliaDHT", "KademliaNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class KademliaNode:
     """One Kademlia peer: identifier, k-buckets, and key store."""
 

@@ -4,7 +4,7 @@ The paper's whole point is that LHT runs unchanged over *any* generic
 put/get DHT — so the only thing that should vary between substrates is
 **topology**: how a key routes to its owning peer, and how the overlay
 repairs itself.  Everything else — per-peer key/value storage, liveness,
-the sorted-id cache and its invalidation protocol, owner-first local
+the array-backed sorted-id index and its maintenance protocol, owner-first local
 writes, oracle reads, and all :class:`~repro.dht.metrics.MetricsRecorder`
 charging — is substrate-independent and lives here, exactly once.
 
@@ -12,10 +12,10 @@ Three classes:
 
 * :class:`PeerStore` — the storage/membership kernel.  Owns one
   ``dict[str, Any]`` store per live peer (registration order is
-  preserved, which pins oracle-scan order), and a lazily recomputed
-  sorted-id view invalidated on every membership change — the single
-  invalidation protocol that PR 4 previously had to wire into four
-  substrates by hand.
+  preserved, which pins oracle-scan order), and an array-backed
+  sorted-id index maintained incrementally on every membership change
+  — the single maintenance protocol that PR 4 previously had to wire
+  into four substrates by hand.
 * :class:`SubstrateBase` — a :class:`~repro.dht.base.DHT` whose routed
   operations (``put``/``get``/``remove``) are implemented once against
   the peer store; a concrete substrate shrinks to its essence: a
@@ -38,6 +38,7 @@ Three classes:
 from __future__ import annotations
 
 import abc
+import bisect
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.dht.base import DHT
@@ -48,7 +49,7 @@ __all__ = ["PeerStore", "SubstrateBase", "DelegatingDHT"]
 
 
 class PeerStore:
-    """Per-peer key/value stores, liveness, and the sorted-id cache.
+    """Per-peer key/value stores, liveness, and the sorted-id index.
 
     Peers register in overlay-construction order and that order is
     preserved (Python dicts keep insertion order through deletions), so
@@ -56,17 +57,21 @@ class PeerStore:
     :meth:`SubstrateBase.local_write` — visit peers exactly as the
     pre-kernel substrates visited their node dicts.
 
-    The sorted-id view is recomputed lazily and invalidated by
-    :meth:`add_peer` / :meth:`remove_peer`; static overlays therefore pay
-    one sort at construction, dynamic overlays one sort per membership
-    change, never one per routed operation.
+    The sorted-id view is an *array-backed index maintained
+    incrementally*: :meth:`add_peer` splices the id in with
+    ``bisect.insort`` and :meth:`remove_peer` deletes by bisected
+    position, so a membership event costs ``O(log n)`` search plus one
+    ``O(n)`` memmove instead of the full ``O(n log n)`` ``sorted()``
+    rebuild the lazy-invalidation protocol used to pay.  All substrates
+    share this one index through :meth:`sorted_ids` /
+    :meth:`successor_of`; none keeps a private copy of the membership.
     """
 
-    __slots__ = ("_stores", "_sorted_cache")
+    __slots__ = ("_stores", "_sorted_ids")
 
     def __init__(self) -> None:
         self._stores: dict[int, dict[str, Any]] = {}
-        self._sorted_cache: list[int] | None = None
+        self._sorted_ids: list[int] = []
 
     # ------------------------------------------------------------------
     # Membership
@@ -84,7 +89,7 @@ class PeerStore:
         if peer_id in self._stores:
             raise NoSuchPeerError(f"peer {peer_id} already registered")
         self._stores[peer_id] = store if store is not None else {}
-        self._sorted_cache = None
+        bisect.insort(self._sorted_ids, peer_id)
         return self._stores[peer_id]
 
     def remove_peer(self, peer_id: int) -> dict[str, Any]:
@@ -94,7 +99,7 @@ class PeerStore:
             store = self._stores.pop(peer_id)
         except KeyError:
             raise NoSuchPeerError(f"peer {peer_id} is not registered") from None
-        self._sorted_cache = None
+        del self._sorted_ids[bisect.bisect_left(self._sorted_ids, peer_id)]
         return store
 
     def is_live(self, peer_id: int | None) -> bool:
@@ -108,14 +113,23 @@ class PeerStore:
         return peer_id in self._stores
 
     # ------------------------------------------------------------------
-    # Sorted-id cache (single invalidation protocol)
+    # Sorted-id index (single maintenance protocol)
     # ------------------------------------------------------------------
 
     def sorted_ids(self) -> list[int]:
-        """Sorted live-peer ids, cached between membership changes."""
-        if self._sorted_cache is None:
-            self._sorted_cache = sorted(self._stores)
-        return self._sorted_cache
+        """Sorted live-peer ids, maintained incrementally across
+        membership changes (callers must not mutate the returned list)."""
+        return self._sorted_ids
+
+    def successor_of(self, point: int) -> int:
+        """The live peer owning ring point ``point``: the first id
+        ``>= point``, wrapping to the smallest id — the successor rule
+        every ring substrate's ``peer_of`` reduces to."""
+        ids = self._sorted_ids
+        if not ids:
+            raise NoSuchPeerError("no live peers")
+        idx = bisect.bisect_left(ids, point)
+        return ids[0] if idx == len(ids) else ids[idx]
 
     # ------------------------------------------------------------------
     # Storage access
@@ -206,6 +220,44 @@ class SubstrateBase(DHT):
         owner, hops = self.route(key)
         self.metrics.record_remove(hops)
         return self.peers.store_of(owner).pop(key, None)
+
+    def multi_get(
+        self, keys: Sequence[str], *, absorb_errors: bool = False
+    ) -> list[Any | None]:
+        """One batched routed round of gets against the peer store.
+
+        Read-side dual of :meth:`multi_put`: every key is routed and
+        charged individually (``record_get`` per key, so counts and
+        found-flags are byte-identical to sequential :meth:`get`
+        calls), but the round runs entirely inside the kernel — no
+        per-key virtual dispatch through the public ``get`` — which is
+        what coalesced serving rounds and range frontiers actually pay
+        at 2^20-key scale.  ``absorb_errors`` keeps the
+        :meth:`~repro.dht.base.DHT.multi_get` contract: a typed
+        :class:`~repro.errors.DHTError` while routing one key yields
+        ``None`` for that key instead of failing the round.
+        """
+        if type(self).get is not SubstrateBase.get:
+            # A subclass customized the single-key read path (test
+            # fixtures may gate or instrument it; LHT006 bars concrete
+            # substrates from doing so) — batched rounds must observe
+            # those semantics, so fall back to the sequential default.
+            return super().multi_get(keys, absorb_errors=absorb_errors)
+        peers = self.peers
+        metrics = self.metrics
+        values: list[Any | None] = []
+        for key in keys:
+            try:
+                owner, hops = self.route(key)
+            except DHTError:
+                if not absorb_errors:
+                    raise
+                values.append(None)
+                continue
+            value = peers.store_of(owner).get(key)
+            metrics.record_get(hops, found=value is not None)
+            values.append(value)
+        return values
 
     def multi_put(
         self,

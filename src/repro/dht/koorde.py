@@ -43,7 +43,7 @@ from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
 __all__ = ["KoordeDHT", "KoordeNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class KoordeNode:
     """One Koorde peer: ring successor + de Bruijn pointer window."""
 
@@ -218,9 +218,7 @@ class KoordeDHT(SubstrateBase):
         return owner, max(hops, 1)
 
     def peer_of(self, key: str) -> int:
-        kid = hash_key(key, self.id_bits)
-        ids = self.peers.sorted_ids()
-        return ids[bisect.bisect_left(ids, kid) % len(ids)]
+        return self.peers.successor_of(hash_key(key, self.id_bits))
 
     # ------------------------------------------------------------------
     # Diagnostics

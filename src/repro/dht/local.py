@@ -14,7 +14,6 @@ magnitude faster.
 
 from __future__ import annotations
 
-import bisect
 import math
 
 import numpy as np
@@ -67,7 +66,4 @@ class LocalDHT(SubstrateBase):
 
     def peer_of(self, key: str) -> int:
         """Successor peer of ``hash(key)`` on the ring."""
-        kid = hash_key(key)
-        peer_ids = self.peers.sorted_ids()
-        idx = bisect.bisect_left(peer_ids, kid)
-        return peer_ids[idx % len(peer_ids)]
+        return self.peers.successor_of(hash_key(key))

@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError, RoutingError
 __all__ = ["PastryDHT", "PastryNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PastryNode:
     """One Pastry peer: identifier, routing table, leaf set, key store."""
 

@@ -28,7 +28,7 @@ from repro.errors import ConfigurationError, RoutingError
 __all__ = ["TapestryDHT", "TapestryNode"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TapestryNode:
     """One Tapestry peer: identifier, per-level routing table, store.
 

@@ -39,11 +39,16 @@ from repro.dht import CANDHT, ChordDHT, OneHopDHT
 from repro.dht.registry import names as substrate_names
 from repro.experiments.common import make_dht
 
-N_PEERS = 12
 PUTS_PER_STEP = 4
 
+SMOKE_PEERS = 12
 SMOKE_STEPS = 6
-SOAK_STEPS = 120
+
+#: The tier-2 soak runs at more than double the smoke's ring size and
+#: step count — large enough that the kernel's incremental sorted-id
+#: index sees hundreds of splices per run on every dynamic overlay.
+SOAK_PEERS = 28
+SOAK_STEPS = 240
 
 
 def assert_peer_store_coherent(dht):
@@ -57,7 +62,7 @@ def assert_peer_store_coherent(dht):
         assert dht.peer_of(probe) in ids
 
 
-def membership_step(dht, rng) -> bool:
+def membership_step(dht, rng, n_peers: int) -> bool:
     """One membership event where the overlay supports it.
 
     Returns True when the event may have destroyed data (crash-fail),
@@ -67,7 +72,7 @@ def membership_step(dht, rng) -> bool:
         op = str(rng.choice(["join", "leave", "fail"]))
         if dht.n_peers <= 5:
             op = "join"
-        elif dht.n_peers >= 2 * N_PEERS:
+        elif dht.n_peers >= 2 * n_peers:
             op = str(rng.choice(["leave", "fail"]))
         lost = False
         if op == "join":
@@ -89,7 +94,7 @@ def membership_step(dht, rng) -> bool:
         op = str(rng.choice(["join", "leave", "fail"]))
         if dht.n_peers <= 5:
             op = "join"
-        elif dht.n_peers >= 2 * N_PEERS:
+        elif dht.n_peers >= 2 * n_peers:
             op = str(rng.choice(["leave", "fail"]))
         lost = False
         if op == "join":
@@ -109,7 +114,7 @@ def membership_step(dht, rng) -> bool:
         return lost
     if isinstance(dht, CANDHT):
         if dht.n_peers <= 5 or (
-            dht.n_peers < 2 * N_PEERS and rng.random() < 0.5
+            dht.n_peers < 2 * n_peers and rng.random() < 0.5
         ):
             joined = dht.join()
             assert joined in dht.node_ids
@@ -127,8 +132,8 @@ def membership_step(dht, rng) -> bool:
     return False  # static overlay: data churn only
 
 
-def run_soak(name: str, steps: int, seed: int) -> None:
-    dht = make_dht(name, N_PEERS, seed)
+def run_soak(name: str, steps: int, seed: int, n_peers: int) -> None:
+    dht = make_dht(name, n_peers, seed)
     rng = np.random.default_rng(seed)
     expected: dict[str, tuple[int, int]] = {}
 
@@ -142,7 +147,7 @@ def run_soak(name: str, steps: int, seed: int) -> None:
             removed = dht.remove(victim_key)
             assert removed == expected.pop(victim_key)
 
-        data_may_be_lost = membership_step(dht, rng)
+        data_may_be_lost = membership_step(dht, rng, n_peers)
         if data_may_be_lost:
             # A crash loses the victim's keys; the overlay must still
             # accept the re-puts that repair them.
@@ -168,7 +173,7 @@ def run_soak(name: str, steps: int, seed: int) -> None:
 @pytest.mark.parametrize("name", substrate_names())
 def test_churn_smoke(name):
     """Tier-1: a short soak on every substrate, every CI run."""
-    run_soak(name, steps=SMOKE_STEPS, seed=23)
+    run_soak(name, steps=SMOKE_STEPS, seed=23, n_peers=SMOKE_PEERS)
 
 
 @pytest.mark.soak
@@ -176,4 +181,4 @@ def test_churn_smoke(name):
 @pytest.mark.parametrize("seed", [1, 2, 3])
 def test_churn_soak_long(name, seed):
     """Tier-2: long seeded churn sequences (``-m soak``)."""
-    run_soak(name, steps=SOAK_STEPS, seed=seed)
+    run_soak(name, steps=SOAK_STEPS, seed=seed, n_peers=SOAK_PEERS)

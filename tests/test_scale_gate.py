@@ -1,0 +1,175 @@
+"""Tests for the benchgate ``scale`` suite (``BENCH_scale.json``).
+
+The scale gate differs from the count gates in two ways — its baseline
+file holds one section per workload shape, and its wall-clock block is
+gated at the wide per-shape :data:`~repro.devtools.benchgate.SCALE_WALL_TOLERANCE`
+band instead of the 10% count tolerance.  The unmarked tests pin that
+logic with a stubbed measurement (no 2^20-key build in tier-1); the
+``bench``-marked test re-measures the smoke shape against the checked-in
+baseline exactly like the CI leg does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import benchgate
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _fake_scale(
+    profile: str = "smoke",
+    *,
+    build_s: float = 0.02,
+    leaves: float = 255.0,
+) -> dict:
+    return {
+        "profile": profile,
+        "params": {"seed": 1, "n_keys": 123},
+        "counts": {"leaves": leaves, "lookup_gets": 100.0},
+        "wall_s": {"build_s": build_s, "lookup_s": 0.01},
+        "info": {"build_speedup_vs_pre_pr": 4.0},
+    }
+
+
+class TestCheckScale:
+    def test_missing_baseline_reports_write_hint(self, tmp_path):
+        failures = benchgate._check_scale(
+            tmp_path / "BENCH_scale.json", _fake_scale()
+        )
+        assert failures and "baseline missing" in failures[0]
+
+    def test_missing_profile_section_fails(self, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale("smoke"))
+        failures = benchgate._check_scale(path, _fake_scale("full"))
+        assert failures and "no baseline for profile 'full'" in failures[0]
+
+    def test_write_then_check_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale())
+        assert benchgate._check_scale(path, _fake_scale()) == []
+
+    def test_write_merges_profiles_without_discarding(self, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale("full"))
+        benchgate._write_scale(path, _fake_scale("smoke"))
+        data = json.loads(path.read_text())
+        assert set(data["profiles"]) == {"full", "smoke"}
+
+    def test_wall_clock_within_wide_band_passes(self, tmp_path):
+        """Smoke wall seconds may drift up to 4x before the gate trips."""
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale(build_s=0.02))
+        assert (
+            benchgate._check_scale(path, _fake_scale(build_s=0.079)) == []
+        )
+
+    def test_wall_clock_regression_beyond_band_fails(self, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale(build_s=0.02))
+        failures = benchgate._check_scale(path, _fake_scale(build_s=0.09))
+        assert failures and "build_s" in failures[0]
+
+    def test_count_drift_uses_tight_tolerance(self, tmp_path):
+        """Counts are exact reproductions: a 20% leaf-count change fails
+        even though it is far inside the wall-clock band."""
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale(leaves=255.0))
+        failures = benchgate._check_scale(path, _fake_scale(leaves=306.0))
+        assert failures and "leaves" in failures[0]
+
+    def test_changed_params_demand_refresh(self, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        benchgate._write_scale(path, _fake_scale())
+        current = _fake_scale()
+        current["params"]["n_keys"] = 456
+        failures = benchgate._check_scale(path, current)
+        assert failures and "parameters changed" in failures[0]
+
+
+class TestCliExitCodes:
+    def _run(self, monkeypatch, tmp_path, measured: dict, argv: list[str]):
+        monkeypatch.setattr(
+            benchgate, "SCALE_BASELINE", tmp_path / "BENCH_scale.json"
+        )
+        monkeypatch.setattr(
+            benchgate,
+            "measure_scale",
+            lambda seed, profile: dict(measured, profile=profile),
+        )
+        return benchgate.main(argv)
+
+    def test_missing_baseline_exits_nonzero(self, monkeypatch, tmp_path):
+        code = self._run(
+            monkeypatch,
+            tmp_path,
+            _fake_scale(),
+            ["--check", "--only", "scale", "--scale-profile", "smoke"],
+        )
+        assert code == 1
+
+    def test_write_then_check_exits_zero(self, monkeypatch, tmp_path):
+        argv = ["--only", "scale", "--scale-profile", "smoke"]
+        assert self._run(
+            monkeypatch, tmp_path, _fake_scale(), ["--write", *argv]
+        ) == 0
+        assert self._run(
+            monkeypatch, tmp_path, _fake_scale(), ["--check", *argv]
+        ) == 0
+
+    def test_regression_exits_nonzero(self, monkeypatch, tmp_path):
+        argv = ["--only", "scale", "--scale-profile", "smoke"]
+        assert self._run(
+            monkeypatch, tmp_path, _fake_scale(), ["--write", *argv]
+        ) == 0
+        code = self._run(
+            monkeypatch,
+            tmp_path,
+            _fake_scale(build_s=0.09),
+            ["--check", *argv],
+        )
+        assert code == 1
+
+
+class TestCheckedInBaseline:
+    def test_scale_baseline_parses_with_both_profiles(self):
+        path = _ROOT / "BENCH_scale.json"
+        assert path.exists(), "BENCH_scale.json missing — run benchgate --write"
+        data = json.loads(path.read_text())
+        assert set(data) == {"profiles"}
+        assert set(data["profiles"]) == {"full", "smoke"}
+        for section in data["profiles"].values():
+            assert set(section) == {"params", "counts", "wall_s", "info"}
+            assert set(section["wall_s"]) == {"build_s", "lookup_s", "range_s"}
+            assert all(
+                isinstance(v, (int, float)) for v in section["counts"].values()
+            )
+            assert all(v > 0 for v in section["wall_s"].values())
+
+    def test_full_profile_banks_the_required_speedup(self):
+        """The PR's acceptance number, pinned: the banked full-scale run
+        records >= 2x on both the build and lookup phases vs pre-PR."""
+        data = json.loads((_ROOT / "BENCH_scale.json").read_text())
+        info = data["profiles"]["full"]["info"]
+        assert info["build_speedup_vs_pre_pr"] >= 2.0
+        assert info["lookup_speedup_vs_pre_pr"] >= 2.0
+
+    def test_full_profile_is_paper_scale(self):
+        data = json.loads((_ROOT / "BENCH_scale.json").read_text())
+        params = data["profiles"]["full"]["params"]
+        assert params["n_keys"] == 1 << 20
+        assert params["n_peers"] >= 1024
+
+
+@pytest.mark.bench
+class TestScaleGate:
+    def test_smoke_scale_within_tolerance(self):
+        """The CI smoke leg's check, as a bench-marked pytest."""
+        current = benchgate.measure_scale(profile="smoke")
+        failures = benchgate._check_scale(_ROOT / "BENCH_scale.json", current)
+        assert not failures, "\n".join(failures)
