@@ -36,7 +36,7 @@ from repro.core.config import IndexConfig
 from repro.core.interval import Range
 from repro.core.keys import key_bits
 from repro.core.label import Label, ROOT
-from repro.core.lookup import lht_lookup
+from repro.core.lookup import lht_lookup, lookup_plan
 from repro.core.minmax import max_query, min_query
 from repro.core.naming import naming
 from repro.core.range_query import RangeQueryExecutor
@@ -53,6 +53,7 @@ from repro.core.results import (
     SplitEvent,
 )
 from repro.dht.base import DHT
+from repro.dht.replicated import replica_layer
 from repro.errors import DHTError, LookupError_
 
 __all__ = ["LHTIndex"]
@@ -143,9 +144,17 @@ class LHTIndex:
         try:
             result = self.lookup(key)
         except DHTError:
+            rescued = self._replica_fallback(key, prior_lookups=0)
+            if rescued is not None:
+                return rescued
             self.dht.metrics.record_degraded()
             return ExactMatchResult(MatchStatus.UNREACHABLE, None, 0)
         if result.bucket is None:
+            rescued = self._replica_fallback(
+                key, prior_lookups=result.dht_lookups
+            )
+            if rescued is not None:
+                return rescued
             self.dht.metrics.record_degraded()
             return ExactMatchResult(
                 MatchStatus.UNREACHABLE, None, result.dht_lookups
@@ -153,6 +162,43 @@ class LHTIndex:
         record = result.bucket.find(key)
         status = MatchStatus.PRESENT if record is not None else MatchStatus.ABSENT
         return ExactMatchResult(status, record, result.dht_lookups)
+
+    def _replica_fallback(
+        self, key: float, prior_lookups: int
+    ) -> ExactMatchResult | None:
+        """Re-drive Alg. 2 through replica probes before giving up.
+
+        When the routed lookup could not converge, a replication layer
+        in the DHT stack (if any) still holds backup copies of every
+        bucket on topology-derived peers.  This re-runs the same binary
+        search with each DHT-get replaced by
+        :meth:`~repro.dht.replicated.ReplicatedDHT.failover_get` —
+        direct probes of all replica holders.  A convergent re-run is a
+        rescued read (one ``replica_failovers`` tick, a definite
+        PRESENT/ABSENT answer); a non-convergent one returns ``None``
+        and the caller declares UNREACHABLE as before.  Stacks without
+        replicas skip all of this, so the k=1 path is untouched.
+        """
+        replicas = replica_layer(self.dht)
+        if replicas is None:
+            return None
+        plan = lookup_plan(self.config, key)
+        try:
+            name = next(plan)
+            while True:
+                name = plan.send(replicas.failover_get(str(name)))
+        except StopIteration as stop:
+            result: LookupResult = stop.value
+        except DHTError:
+            return None
+        if result.bucket is None:
+            return None
+        self.dht.metrics.record_replica_failover()
+        record = result.bucket.find(key)
+        status = MatchStatus.PRESENT if record is not None else MatchStatus.ABSENT
+        return ExactMatchResult(
+            status, record, prior_lookups + result.dht_lookups
+        )
 
     def __contains__(self, key: float) -> bool:
         record, _ = self.exact_match(key)

@@ -66,6 +66,7 @@ from repro.core.lookup import lht_lookup
 from repro.core.naming import left_neighbor, naming, right_neighbor
 from repro.core.results import RangeQueryResult
 from repro.dht.base import DHT
+from repro.dht.replicated import replica_layer
 from repro.errors import DHTError, LookupError_
 
 __all__ = ["compute_lca", "RangeQueryExecutor"]
@@ -129,6 +130,11 @@ class RangeQueryExecutor:
     def __init__(self, dht: DHT, config: IndexConfig) -> None:
         self._dht = dht
         self._config = config
+        # The stack's replication layer, if one offers failover; probed
+        # on degraded-mode misses before a subtree is declared
+        # unreachable.  Resolved once — the stack cannot change under a
+        # live executor.
+        self._replicas = replica_layer(dht)
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -197,6 +203,16 @@ class RangeQueryExecutor:
                 absorb_errors=state.degraded,
             )
             for task, value in zip(batch, values):
+                if value is None and state.degraded and self._replicas:
+                    # Degraded mode: before treating the miss as "node
+                    # absent" (which prunes the subtree or marks it
+                    # unreachable), ask the replica holders directly.
+                    # A structural miss — the name genuinely unstored —
+                    # probes and stays a miss; a dropped reply is
+                    # rescued and the sweep continues undegraded.
+                    value = self._replicas.failover_get(str(task.key))
+                    if value is not None:
+                        self._dht.metrics.record_replica_failover()
                 if value is None:
                     state.failed_lookups += 1
                     task.on_miss()

@@ -6,9 +6,10 @@ operation, parallel lookup steps, records moved by maintenance — are
 exactly reproducible from a seed.  This module measures those counts on
 a fixed workload and compares them against checked-in baselines
 (``BENCH_lookup.json`` / ``BENCH_range.json`` / ``BENCH_build.json`` /
-``BENCH_serve.json`` at the repository root), so a change that silently
-makes lookups, range queries, bulk builds, or request serving more
-expensive fails a test instead of a human's memory.
+``BENCH_serve.json`` / ``BENCH_avail.json`` at the repository root), so
+a change that silently makes lookups, range queries, bulk builds,
+request serving, or replicated availability more expensive fails a test
+instead of a human's memory.
 
 The ``scale`` suite (``BENCH_scale.json``) additionally banks the
 *wall-clock* of the paper-scale build/lookup/range workload from
@@ -42,7 +43,10 @@ import numpy as np
 
 from repro.core.config import IndexConfig
 from repro.core.index import LHTIndex
+from repro.core.results import MatchStatus
+from repro.dht.faulty import FaultyDHT
 from repro.dht.local import LocalDHT
+from repro.dht.replicated import ReplicatedDHT
 from repro.errors import ReproError
 from repro.experiments.common import SUBSTRATES, make_dht
 from repro.devtools.profile import SCALE_PROFILES, run_scale_phases
@@ -58,11 +62,13 @@ __all__ = [
     "BUILD_BASELINE",
     "SERVE_BASELINE",
     "SCALE_BASELINE",
+    "AVAIL_BASELINE",
     "measure_lookup",
     "measure_range",
     "measure_build",
     "measure_serve",
     "measure_scale",
+    "measure_avail",
     "measure_substrate_hops",
     "measure_range_hops",
     "measure_build_hops",
@@ -87,6 +93,7 @@ RANGE_BASELINE = _REPO_ROOT / "BENCH_range.json"
 BUILD_BASELINE = _REPO_ROOT / "BENCH_build.json"
 SERVE_BASELINE = _REPO_ROOT / "BENCH_serve.json"
 SCALE_BASELINE = _REPO_ROOT / "BENCH_scale.json"
+AVAIL_BASELINE = _REPO_ROOT / "BENCH_avail.json"
 
 #: Pre-PR phase wall-clock on the reference host, measured at the tip of
 #: the serving-layer PR (the commit before the hot-path overhaul) with
@@ -442,6 +449,142 @@ def measure_serve(seed: int = 1) -> dict:
     return {"params": dict(_SERVE_PARAMS), "metrics": metrics, "info": info}
 
 
+#: Availability-gate workload shape — its own dict so the earlier
+#: baselines stay byte-comparable (their recorded ``params`` must not
+#: change when replication knobs do).
+_AVAIL_PARAMS = {
+    "seed": 1,
+    "n_peers": 16,
+    "n_keys": 1024,
+    "n_probes": 400,
+    "theta_split": 32,
+    "max_depth": 20,
+    "drop_rate": 0.3,
+    "ks": [1, 2, 3],
+    "identity_ops": 256,
+    "identity_drop_rate": 0.2,
+}
+
+
+def _avail_faulty(seed: int, tag: str) -> FaultyDHT:
+    return FaultyDHT(
+        LocalDHT(
+            n_peers=_AVAIL_PARAMS["n_peers"],
+            seed=derive_seed(seed, "bench:avail:sub"),
+        ),
+        seed=derive_seed(seed, f"bench:avail:faults:{tag}"),
+    )
+
+
+def _drive_identity(dht, seed: int) -> tuple:
+    """One seeded mixed op stream → (snapshot, stored keys)."""
+    rng = np.random.default_rng(derive_seed(seed, "bench:avail:identity"))
+    for i in range(_AVAIL_PARAMS["identity_ops"]):
+        op = rng.random()
+        key = f"id-{int(rng.integers(0, 64))}"
+        if op < 0.5:
+            dht.put(key, i)
+        elif op < 0.9:
+            dht.get(key)
+        else:
+            dht.remove(key)
+    return dht.metrics.snapshot(), sorted(dht.keys())
+
+
+def measure_avail(seed: int = 1) -> dict:
+    """Availability vs replication factor, and the k=1 no-op proof.
+
+    Three hard invariants (raised as :class:`ReproError`, not
+    tolerance-gated):
+
+    * **k=1 byte-identity** — the same seeded mixed workload driven
+      through ``FaultyDHT(LocalDHT)`` bare and through
+      ``ReplicatedDHT(..., n_replicas=1)`` must produce identical
+      metrics snapshots and identical stored state: single-replica
+      placement is a pass-through, so enabling the layer costs nothing.
+    * **strict monotonicity** — availability at drop rate 0.3 must
+      strictly increase k=1 → k=2 → k=3 (the E26 acceptance shape).
+    * **failover liveness** — replicated probes (k>1) must record at
+      least one ``replica_failovers`` rescue under drops.
+
+    Gated (lower-is-better): ``unavailability_at_k*`` (1 − availability)
+    and ``build_puts_per_key_k*`` (replica put amplification).  The
+    higher-is-better ``availability_at_k*`` views ride along in
+    ``info``, with replica probe traffic per probe.
+    """
+    p = _AVAIL_PARAMS
+
+    # --- invariant 1: the k=1 path is byte-identical to no layer ------
+    bare = _avail_faulty(seed, "identity")
+    bare.get_drop_rate = p["identity_drop_rate"]
+    wrapped_inner = _avail_faulty(seed, "identity")
+    wrapped_inner.get_drop_rate = p["identity_drop_rate"]
+    wrapped = ReplicatedDHT(wrapped_inner, n_replicas=1)
+    if _drive_identity(bare, seed) != _drive_identity(wrapped, seed):
+        raise ReproError(
+            "ReplicatedDHT(n_replicas=1) diverged from the bare stack: "
+            "the k=1 path must be a byte-identical pass-through"
+        )
+
+    # --- availability × replication factor ----------------------------
+    metrics: dict[str, float] = {}
+    info: dict[str, float] = {}
+    availability: dict[int, float] = {}
+    for k in p["ks"]:
+        faulty = _avail_faulty(seed, f"k{k}")
+        dht = ReplicatedDHT(faulty, n_replicas=k)
+        index = LHTIndex(
+            dht,
+            IndexConfig(
+                theta_split=p["theta_split"], max_depth=p["max_depth"]
+            ),
+        )
+        rng = np.random.default_rng(derive_seed(seed, "bench:avail:keys"))
+        keys = [float(x) for x in rng.random(p["n_keys"])]
+        before = dht.metrics.snapshot()
+        index.bulk_load(keys, fast=True)
+        built = dht.metrics.since(before)
+        metrics[f"build_puts_per_key_k{k}"] = built.puts / p["n_keys"]
+
+        # Faults start after the build: every probed key is stored.
+        faulty.get_drop_rate = p["drop_rate"]
+        prng = np.random.default_rng(derive_seed(seed, "bench:avail:probes"))
+        sample = prng.choice(
+            np.asarray(keys), size=p["n_probes"], replace=False
+        )
+        before = dht.metrics.snapshot()
+        hits = 0
+        for key in sample:
+            result = index.exact_match_checked(float(key))
+            if result.status is MatchStatus.PRESENT:
+                hits += 1
+        spent = dht.metrics.since(before)
+        availability[k] = hits / p["n_probes"]
+        metrics[f"unavailability_at_k{k}"] = 1.0 - availability[k]
+        info[f"availability_at_k{k}"] = availability[k]
+        info[f"replica_probe_gets_per_probe_k{k}"] = (
+            spent.replica_probe_gets / p["n_probes"]
+        )
+        info[f"replica_failovers_k{k}"] = float(spent.replica_failovers)
+        if k > 1 and spent.replica_failovers == 0:
+            raise ReproError(
+                f"k={k} under drop rate {p['drop_rate']} recorded no "
+                "replica failovers: the degraded-read path is dead"
+            )
+
+    ks = p["ks"]
+    increasing = all(
+        availability[a] < availability[b] for a, b in zip(ks, ks[1:])
+    )
+    if not increasing:
+        raise ReproError(
+            "availability must strictly increase with replication "
+            f"factor at drop rate {p['drop_rate']}: "
+            + ", ".join(f"k={k}: {availability[k]:.4f}" for k in ks)
+        )
+    return {"params": dict(_AVAIL_PARAMS), "metrics": metrics, "info": info}
+
+
 def measure_scale(seed: int = 1, profile: str = "full") -> dict:
     """Paper-scale wall-clock and counts for one workload shape.
 
@@ -588,7 +731,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=_PARAMS["seed"])
     parser.add_argument(
         "--only",
-        choices=("lookup", "range", "build", "serve", "scale"),
+        choices=("lookup", "range", "build", "serve", "scale", "avail"),
         action="append",
         default=None,
         help="measure only these gates (repeatable; default: all but "
@@ -607,6 +750,7 @@ def main(argv: list[str] | None = None) -> int:
         "range": (RANGE_BASELINE, measure_range),
         "build": (BUILD_BASELINE, measure_build),
         "serve": (SERVE_BASELINE, measure_serve),
+        "avail": (AVAIL_BASELINE, measure_avail),
         "scale": (
             SCALE_BASELINE,
             lambda seed: measure_scale(seed, args.scale_profile),

@@ -43,6 +43,14 @@ LHT011    Parallel-engine safety — a callable shipped to a
           rebind a global or mutate another module's module-level state:
           spawn workers re-import fresh modules, so such state silently
           diverges between ``--jobs 1`` and ``--jobs N``.
+LHT013    Placement purity — ``replicas_for`` implementations of
+          :class:`~repro.dht.kernel.PlacementPolicy` subclasses (and
+          every helper they reach) must be pure reads of topology:
+          no metrics charging, no peer-store mutation or kernel storage
+          calls, and — stricter than LHT009 — no wall clock and no
+          randomness.  Placement is a deterministic guarantee derived
+          from the overlay; a sampled or time-dependent placement would
+          silently break replica agreement between writer and reader.
 ========  ==============================================================
 
 Violations support the same suppression comments as the linter
@@ -111,6 +119,8 @@ ANALYZER_RULES: dict[str, str] = {
     "calls kernel storage",
     "LHT010": "exception handler swallows typed DHT errors",
     "LHT011": "process-pool worker rebinds or mutates cross-module state",
+    "LHT013": "placement policy charges metrics, mutates storage, or "
+    "depends on wall clock/randomness",
 }
 
 #: PeerStore methods/attributes only the kernel module may touch.
@@ -131,6 +141,9 @@ KERNEL_STORAGE_METHODS = frozenset(
 
 #: Substrate routing entry points checked for purity (LHT009).
 ROUTE_METHODS = frozenset({"route", "route_point", "route_id"})
+
+#: Placement-policy entry points checked for purity (LHT013).
+PLACEMENT_METHODS = frozenset({"replicas_for"})
 
 #: DHT interface methods that are routed (may raise typed DHTError).
 ROUTED_OP_NAMES = frozenset(
@@ -1177,6 +1190,53 @@ def _check_route_purity(program: Program) -> list[Violation]:
     return violations
 
 
+def _check_placement_purity(program: Program) -> list[Violation]:
+    """LHT013: placement policies are pure reads of topology.
+
+    Reuses the LHT009 closure machinery over ``replicas_for`` entry
+    points of :class:`PlacementPolicy` subclasses, and adds the
+    hermeticity sinks (wall clock, randomness) that LHT009 leaves to
+    LHT007: a placement decision that samples or reads the clock would
+    disagree between the writer that placed a value and the reader that
+    probes for it.
+    """
+    violations: list[Violation] = []
+    for cls in program.classes.values():
+        if cls.qualname.split(".")[-1] == "PlacementPolicy":
+            continue
+        if not program.class_reaches(cls.qualname, "PlacementPolicy"):
+            continue
+        for method_name, fn_qual in cls.methods.items():
+            if method_name not in PLACEMENT_METHODS:
+                continue
+            for member in _route_closure(program, fn_qual):
+                fn = program.functions.get(member)
+                if fn is None:
+                    continue
+                offenses = list(fn.purity_offenses) + [
+                    (line, col, f"reaches {kind} sink {dotted}")
+                    for line, col, kind, dotted in fn.sinks
+                ]
+                for line, col, description in offenses:
+                    violations.append(
+                        Violation(
+                            path=str(fn.path),
+                            line=line,
+                            col=col,
+                            code="LHT013",
+                            message=(
+                                f"placement path "
+                                f"{cls.qualname.split('.')[-1]}."
+                                f"{method_name} -> "
+                                f"{member.split('.')[-1]} {description} "
+                                "— replica placement is a pure, "
+                                "deterministic read of topology"
+                            ),
+                        )
+                    )
+    return violations
+
+
 def _check_exception_flow(program: Program) -> list[Violation]:
     """LHT010: no broad swallow of DHTError; no silent typed swallow."""
     may_raise = _may_raise_dht(program)
@@ -1355,6 +1415,7 @@ def analyze_paths(
     violations.extend(_check_hermeticity(program))
     violations.extend(_check_kernel_encapsulation(program))
     violations.extend(_check_route_purity(program))
+    violations.extend(_check_placement_purity(program))
     violations.extend(_check_exception_flow(program))
     violations.extend(_check_parallel_safety(program))
 

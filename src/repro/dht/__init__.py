@@ -12,13 +12,26 @@ from repro.dht.faulty import FaultyDHT
 from repro.dht.churn import ChurnConfig, ChurnDriver
 from repro.dht.hashing import ID_BITS, ID_SPACE, hash_key, ring_distance
 from repro.dht.kademlia import KademliaDHT, KademliaNode
-from repro.dht.kernel import DelegatingDHT, PeerStore, SubstrateBase
+from repro.dht.kernel import (
+    DelegatingDHT,
+    PeerStore,
+    PlacementPolicy,
+    SubstrateBase,
+)
 from repro.dht.koorde import KoordeDHT, KoordeNode
 from repro.dht.local import LocalDHT
 from repro.dht.metrics import MetricsRecorder, MetricsSnapshot
 from repro.dht.onehop import OneHopDHT, OneHopNode
 from repro.dht.pastry import PastryDHT, PastryNode
-from repro.dht.replicated import ReplicatedDHT
+from repro.dht.placement import (
+    ClosestIdsPolicy,
+    HashSaltPolicy,
+    LeafSetPolicy,
+    SuccessorListPolicy,
+    TableSlicePolicy,
+    ZoneNeighborsPolicy,
+)
+from repro.dht.replicated import ReplicatedDHT, replica_layer
 from repro.dht.serializing import SerializingDHT
 from repro.dht.tapestry import TapestryDHT, TapestryNode
 
@@ -41,7 +54,15 @@ __all__ = [
     "KademliaNode",
     "DelegatingDHT",
     "PeerStore",
+    "PlacementPolicy",
     "SubstrateBase",
+    "SuccessorListPolicy",
+    "TableSlicePolicy",
+    "LeafSetPolicy",
+    "ZoneNeighborsPolicy",
+    "ClosestIdsPolicy",
+    "HashSaltPolicy",
+    "replica_layer",
     "KoordeDHT",
     "KoordeNode",
     "LocalDHT",

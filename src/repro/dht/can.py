@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.dht.kernel import SubstrateBase
 from repro.dht.metrics import MetricsRecorder
-from repro.errors import ConfigurationError, EmptyOverlayError, RoutingError
+from repro.errors import (
+    ConfigurationError,
+    EmptyOverlayError,
+    NoSuchPeerError,
+    RoutingError,
+)
 
 __all__ = ["CANDHT", "CANNode", "Zone"]
 
@@ -304,6 +309,18 @@ class CANDHT(SubstrateBase):
             if node.zone.contains(point):
                 return node.id
         raise RoutingError(f"no zone contains point {point}")
+
+    def zone_neighbors(self, peer_id: int) -> frozenset[int]:
+        """Ids of the peers whose zones abut ``peer_id``'s zone.
+
+        The topology surface behind
+        :class:`~repro.dht.placement.ZoneNeighborsPolicy`: replica
+        placement reads adjacency, it never reaches into zone geometry.
+        """
+        node = self._nodes.get(peer_id)
+        if node is None:
+            raise NoSuchPeerError(f"no such peer: {peer_id}")
+        return frozenset(node.neighbors)
 
     def check_partition(self) -> None:
         """Assert zones tile the whole torus exactly once."""

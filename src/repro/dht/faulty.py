@@ -46,14 +46,22 @@ class FaultyDHT(DelegatingDHT):
         put_fail_rate: float = 0.0,
         remove_fail_rate: float = 0.0,
         seed: int = 0,
+        probe_drop_rate: float | None = None,
     ) -> None:
         rates = (get_drop_rate, put_fail_rate, remove_fail_rate)
         if any(not 0.0 <= rate <= 1.0 for rate in rates):
+            raise ConfigurationError("failure rates must be in [0, 1]")
+        if probe_drop_rate is not None and not 0.0 <= probe_drop_rate <= 1.0:
             raise ConfigurationError("failure rates must be in [0, 1]")
         super().__init__(inner)
         self.get_drop_rate = get_drop_rate
         self.put_fail_rate = put_fail_rate
         self.remove_fail_rate = remove_fail_rate
+        #: Drop rate for direct replica probes; ``None`` means probes
+        #: share ``get_drop_rate`` (they are gets on the same lossy
+        #: network).  Setting 0.0 makes failover deterministic in
+        #: tests: every routed get drops, every probe answers.
+        self.probe_drop_rate = probe_drop_rate
         self._rng = np.random.default_rng(seed)
         self.dropped_gets = 0
         self.failed_puts = 0
@@ -87,5 +95,40 @@ class FaultyDHT(DelegatingDHT):
             raise DHTError(f"injected remove failure for {key!r}")
         return self.inner.remove(key)
 
-    # ``local_write`` and all introspection delegate via DelegatingDHT:
-    # fault injection models the routed network path only.
+    # ------------------------------------------------------------------
+    # Direct peer access (replica traffic crosses the same lossy network)
+    # ------------------------------------------------------------------
+
+    def probe_get(self, key: str, peer_id: int) -> Any | None:
+        rate = (
+            self.get_drop_rate
+            if self.probe_drop_rate is None
+            else self.probe_drop_rate
+        )
+        if rate and self._rng.random() < rate:
+            self.dropped_gets += 1
+            self.metrics.record_get(1, found=False)
+            return None
+        return self.inner.probe_get(key, peer_id)
+
+    def put_at(self, key: str, value: Any, peer_id: int) -> None:
+        if self.put_fail_rate and self._rng.random() < self.put_fail_rate:
+            self.failed_puts += 1
+            self.metrics.record_failed_put(1)
+            raise DHTError(
+                f"injected put failure for {key!r} at peer {peer_id}"
+            )
+        self.inner.put_at(key, value, peer_id)
+
+    def remove_at(self, key: str, peer_id: int) -> Any | None:
+        if self.remove_fail_rate and self._rng.random() < self.remove_fail_rate:
+            self.failed_removes += 1
+            self.metrics.record_failed_remove(1)
+            raise DHTError(
+                f"injected remove failure for {key!r} at peer {peer_id}"
+            )
+        return self.inner.remove_at(key, peer_id)
+
+    # ``local_write``/``local_write_at`` and all introspection delegate
+    # via DelegatingDHT: fault injection models the routed network path
+    # only.

@@ -45,7 +45,7 @@ from repro.dht.base import DHT
 from repro.dht.metrics import MetricsRecorder
 from repro.errors import DHTError, NoSuchPeerError
 
-__all__ = ["PeerStore", "SubstrateBase", "DelegatingDHT"]
+__all__ = ["PeerStore", "PlacementPolicy", "SubstrateBase", "DelegatingDHT"]
 
 
 class PeerStore:
@@ -157,6 +157,46 @@ class PeerStore:
     def loads(self) -> dict[int, int]:
         """Stored-key count per peer, in registration order."""
         return {peer_id: len(store) for peer_id, store in self._stores.items()}
+
+
+class PlacementPolicy(abc.ABC):
+    """Replica placement rule: where the copies of a key's value live.
+
+    The kernel hook behind topology-aware replication
+    (:class:`~repro.dht.replicated.ReplicatedDHT`): a policy maps
+    ``(key, owner, k)`` to the ordered list of peers that should hold
+    the value — owner first, then the ``k - 1`` topology-derived backup
+    holders (successor list, leaf set, zone neighbors, closest ids,
+    table slice).  Concrete policies live in
+    :mod:`repro.dht.placement` and are enrolled per substrate through
+    :class:`~repro.dht.registry.SubstrateSpec`.
+
+    Contract (checked by the placement conformance matrix and flow rule
+    LHT013):
+
+    * **pure** — ``replicas_for`` reads membership/topology state only:
+      no :class:`~repro.dht.metrics.MetricsRecorder` charging, no peer
+      store mutation, no wall clock, no randomness.  Placement is a
+      deterministic *guarantee* derived from the overlay, never a hash
+      accident or a sampled choice.
+    * **owner-first** — ``result[0] == owner`` always.
+    * **distinct and live** — no peer appears twice; every returned
+      peer is live at call time.
+    * **graceful degradation** — when fewer than ``k`` live peers
+      exist, every live peer is returned (length ``min(k, n_live)``).
+    """
+
+    #: The overlay this policy reads topology from; set by :meth:`bind`.
+    substrate: "SubstrateBase"
+
+    def bind(self, substrate: "SubstrateBase") -> "PlacementPolicy":
+        """Attach the policy to one overlay instance; returns ``self``."""
+        self.substrate = substrate
+        return self
+
+    @abc.abstractmethod
+    def replicas_for(self, key: str, owner: int, k: int) -> list[int]:
+        """Ordered distinct live peers to hold ``key``, owner first."""
 
 
 class SubstrateBase(DHT):
@@ -293,6 +333,50 @@ class SubstrateBase(DHT):
         return stored
 
     # ------------------------------------------------------------------
+    # Direct peer access (replica placement choke point)
+    # ------------------------------------------------------------------
+    #
+    # Replica traffic goes through the same kernel accounting as routed
+    # operations: each charged op is one DHT-lookup at one overlay hop,
+    # because the caller (the replication layer) already knows the
+    # replica holder — it is a topology neighbor of the owner, one
+    # forward away, exactly the D1HT/successor-list replication model.
+    # A probe of a *dead* peer is a failed get (the network work
+    # happened, nobody answered), never an exception: replica probing
+    # is the degraded path and must degrade, not raise.
+
+    def probe_get(self, key: str, peer_id: int) -> Any | None:
+        if not self.peers.is_live(peer_id):
+            self.metrics.record_get(1, found=False)
+            return None
+        value = self.peers.store_of(peer_id).get(key)
+        self.metrics.record_get(1, found=value is not None)
+        return value
+
+    def put_at(self, key: str, value: Any, peer_id: int) -> None:
+        if not self.peers.is_live(peer_id):
+            self.metrics.record_failed_put(1)
+            raise NoSuchPeerError(
+                f"replica write of {key!r} to dead peer {peer_id}"
+            )
+        self.metrics.record_put(1)
+        self.peers.store_of(peer_id)[key] = value
+
+    def remove_at(self, key: str, peer_id: int) -> Any | None:
+        if not self.peers.is_live(peer_id):
+            self.metrics.record_failed_remove(1)
+            return None
+        self.metrics.record_remove(1)
+        return self.peers.store_of(peer_id).pop(key, None)
+
+    def local_write_at(self, key: str, value: Any, peer_id: int) -> None:
+        # The replica holder rewrites its own disk (Alg. 1): free of
+        # lookup cost, skipped silently when the holder has crashed —
+        # the next replicated put re-establishes the copy.
+        if self.peers.is_live(peer_id):
+            self.peers.store_of(peer_id)[key] = value
+
+    # ------------------------------------------------------------------
     # Local persistence (free of lookup cost)
     # ------------------------------------------------------------------
 
@@ -393,6 +477,22 @@ class DelegatingDHT(DHT):
 
     def local_write(self, key: str, value: Any) -> None:
         self.inner.local_write(key, value)
+
+    # Direct peer access forwards like the single-key operations: a
+    # wrapper that changes per-operation semantics (fault injection,
+    # byte encoding) overrides these alongside put/get/remove.
+
+    def probe_get(self, key: str, peer_id: int) -> Any | None:
+        return self.inner.probe_get(key, peer_id)
+
+    def put_at(self, key: str, value: Any, peer_id: int) -> None:
+        self.inner.put_at(key, value, peer_id)
+
+    def remove_at(self, key: str, peer_id: int) -> Any | None:
+        return self.inner.remove_at(key, peer_id)
+
+    def local_write_at(self, key: str, value: Any, peer_id: int) -> None:
+        self.inner.local_write_at(key, value, peer_id)
 
     # ------------------------------------------------------------------
     # Introspection (oracle access: never wrapped, never charged)

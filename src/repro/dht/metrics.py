@@ -47,6 +47,9 @@ class MetricsSnapshot:
     serve_rejections: int = 0
     serve_batches: int = 0
     serve_coalesced_gets: int = 0
+    replica_probe_gets: int = 0
+    replica_failovers: int = 0
+    replica_divergences: int = 0
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         return MetricsSnapshot(
@@ -102,6 +105,9 @@ class MetricsRecorder:
         "serve_rejections",
         "serve_batches",
         "serve_coalesced_gets",
+        "replica_probe_gets",
+        "replica_failovers",
+        "replica_divergences",
         "request_latencies",
         "queue_depth_peak",
     )
@@ -131,6 +137,9 @@ class MetricsRecorder:
         self.serve_rejections = 0
         self.serve_batches = 0
         self.serve_coalesced_gets = 0
+        self.replica_probe_gets = 0
+        self.replica_failovers = 0
+        self.replica_divergences = 0
         #: Per-request completion latencies in simulated seconds — the
         #: raw sample behind :meth:`latency_percentiles`.  A list, not a
         #: counter: percentiles are not additive, so the serving layer
@@ -213,6 +222,30 @@ class MetricsRecorder:
         """Account one query answered with an incomplete (degraded)
         result instead of an exception or silent partial data."""
         self.degraded_responses += 1
+
+    # ------------------------------------------------------------------
+    # Replication-layer events (each probe's routed traffic is charged
+    # by the substrate as usual; these count the failover machinery)
+    # ------------------------------------------------------------------
+
+    def record_replica_probe_get(self) -> None:
+        """Account one replica probe issued by the replication layer.
+
+        The probe itself is charged as a normal routed get when it
+        reaches the substrate; this counter tracks how often reads had
+        to look past the primary copy."""
+        self.replica_probe_gets += 1
+
+    def record_replica_failover(self) -> None:
+        """Account one read answered from a replica (or a degraded query
+        rescued by replica probes) after the primary path failed."""
+        self.replica_failovers += 1
+
+    def record_replica_divergence(self) -> None:
+        """Account one remove that observed disagreeing replica values —
+        evidence of a partial write or replica drift, surfaced instead of
+        silently masked by first-non-None selection."""
+        self.replica_divergences += 1
 
     # ------------------------------------------------------------------
     # Leaf-cache events (the validation get is charged separately as a

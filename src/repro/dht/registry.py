@@ -24,11 +24,19 @@ from repro.dht.can import CANDHT
 from repro.dht.chord import ChordDHT
 from repro.dht.base import DHT
 from repro.dht.kademlia import KademliaDHT
-from repro.dht.kernel import SubstrateBase
+from repro.dht.kernel import PlacementPolicy, SubstrateBase
 from repro.dht.koorde import KoordeDHT
 from repro.dht.local import LocalDHT
 from repro.dht.onehop import OneHopDHT
 from repro.dht.pastry import PastryDHT
+from repro.dht.placement import (
+    ClosestIdsPolicy,
+    HashSaltPolicy,
+    LeafSetPolicy,
+    SuccessorListPolicy,
+    TableSlicePolicy,
+    ZoneNeighborsPolicy,
+)
 from repro.dht.tapestry import TapestryDHT
 from repro.errors import ConfigurationError
 
@@ -40,6 +48,7 @@ __all__ = [
     "specs",
     "factories",
     "make",
+    "placement_for",
 ]
 
 
@@ -53,12 +62,18 @@ class SubstrateSpec:
         factory: ``(n_peers, seed) -> DHT`` building a fresh overlay.
         dynamic: Whether the overlay supports membership churn
             (``join``/``leave``/``fail``) after construction.
+        placement: Factory for the substrate's topology-aware
+            :class:`PlacementPolicy` (successor list, leaf set, zone
+            neighbors, ...), or ``None`` to fall back to salted
+            hashing.  A factory — not an instance — because policies
+            bind to one overlay and specs are process-global.
     """
 
     name: str
     cls: type[SubstrateBase]
     factory: Callable[[int, int], DHT]
     dynamic: bool
+    placement: Callable[[], PlacementPolicy] | None = None
 
 
 _REGISTRY: dict[str, SubstrateSpec] = {}
@@ -69,6 +84,7 @@ def register(
     cls: type[SubstrateBase],
     factory: Callable[[int, int], DHT] | None = None,
     dynamic: bool = False,
+    placement: Callable[[], PlacementPolicy] | None = None,
 ) -> None:
     """Enroll a substrate under ``name``; duplicate names are rejected."""
     if name in _REGISTRY:
@@ -76,7 +92,8 @@ def register(
     if factory is None:
         factory = lambda n_peers, seed: cls(n_peers=n_peers, seed=seed)  # noqa: E731
     _REGISTRY[name] = SubstrateSpec(
-        name=name, cls=cls, factory=factory, dynamic=dynamic
+        name=name, cls=cls, factory=factory, dynamic=dynamic,
+        placement=placement,
     )
 
 
@@ -110,11 +127,30 @@ def make(name: str, n_peers: int, seed: int) -> DHT:
     return spec(name).factory(n_peers, seed)
 
 
-register("can", CANDHT, dynamic=True)
-register("chord", ChordDHT, dynamic=True)
-register("kademlia", KademliaDHT)
-register("koorde", KoordeDHT)
-register("local", LocalDHT)
-register("onehop", OneHopDHT, dynamic=True)
-register("pastry", PastryDHT)
-register("tapestry", TapestryDHT)
+def placement_for(dht: DHT) -> PlacementPolicy:
+    """Resolve the placement policy for a (possibly wrapped) overlay.
+
+    Walks the wrapper stack to its base substrate and returns that
+    substrate's registered topology-aware policy, bound to the base.
+    Overlays without kernel peer access — or substrates enrolled
+    without a policy — fall back to :class:`HashSaltPolicy` bound to
+    the *outermost* layer, so salted aliases route through the full
+    wrapper stack exactly as the pre-placement ``ReplicatedDHT`` did.
+    """
+    base = dht
+    while (inner := getattr(base, "inner", None)) is not None:
+        base = inner
+    for registered in _REGISTRY.values():
+        if type(base) is registered.cls and registered.placement is not None:
+            return registered.placement().bind(base)
+    return HashSaltPolicy().bind(dht)
+
+
+register("can", CANDHT, dynamic=True, placement=ZoneNeighborsPolicy)
+register("chord", ChordDHT, dynamic=True, placement=SuccessorListPolicy)
+register("kademlia", KademliaDHT, placement=ClosestIdsPolicy)
+register("koorde", KoordeDHT, placement=SuccessorListPolicy)
+register("local", LocalDHT, placement=SuccessorListPolicy)
+register("onehop", OneHopDHT, dynamic=True, placement=TableSlicePolicy)
+register("pastry", PastryDHT, placement=LeafSetPolicy)
+register("tapestry", TapestryDHT, placement=ClosestIdsPolicy)

@@ -2,14 +2,28 @@
 
 The churn experiment (E14) shows that with single-replica storage a
 crashing peer takes its leaf buckets with it.  Real deployments (e.g.
-OpenDHT, which the paper's Bamboo testbed powers) replicate each value on
-several peers; this wrapper adds that behaviour *above* any
-:class:`~repro.dht.base.DHT`, staying inside the over-DHT philosophy —
-no substrate modification, only salted keys.
+OpenDHT, which the paper's Bamboo testbed powers) replicate each value
+on several peers.  This wrapper adds that behaviour above any
+:class:`~repro.dht.base.DHT` — but *where* the copies live is decided
+by a :class:`~repro.dht.kernel.PlacementPolicy`, resolved through the
+substrate registry: successors on Chord/Koorde, the leaf set on Pastry,
+zone neighbors on CAN, XOR-closest ids on Kademlia/Tapestry, a table
+slice on OneHop.  Topology-aware placement is what makes failover
+*work*: the backup holders are exactly the peers post-crash routing
+converges on, and a degraded read can probe them directly
+(:meth:`ReplicatedDHT.failover_get`) instead of reporting UNREACHABLE.
 
-Cost accounting is honest: a put writes every replica (``r`` routed
-operations) and a get probes replicas in order until one answers, so the
-availability/maintenance trade-off shows up directly in the metrics.
+Overlays without kernel peer access fall back to the original salted
+aliasing (:class:`~repro.dht.placement.HashSaltPolicy`): replica ``i``
+is a routed put/get of ``key##r{i}``, hashing to an arbitrary peer.
+
+Cost accounting is honest either way: a put writes every replica
+(``k`` routed operations, so put amplification is visible), a get
+probes copies in order until one answers, and every failover probe is
+charged as a normal routed get plus a ``replica_probe_gets`` tick.
+With ``n_replicas=1`` the wrapper is a pure pass-through — the policy
+is never consulted and the operation stream is byte-identical to the
+unwrapped substrate.
 """
 
 from __future__ import annotations
@@ -17,67 +31,202 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.dht.base import DHT
-from repro.dht.kernel import DelegatingDHT
+from repro.dht.kernel import DelegatingDHT, PlacementPolicy
+from repro.dht.placement import HashSaltPolicy
 from repro.errors import ConfigurationError
 
-__all__ = ["ReplicatedDHT"]
+__all__ = ["ReplicatedDHT", "replica_layer"]
+
+
+def replica_layer(dht: DHT) -> "ReplicatedDHT | None":
+    """The replication layer inside a wrapper stack, if failover exists.
+
+    Walks the stack outside-in and returns the first
+    :class:`ReplicatedDHT` carrying more than one replica — the layer
+    whose :meth:`~ReplicatedDHT.failover_get` a degraded read can
+    consult — or ``None`` when the stack has no replicas to offer
+    (including ``n_replicas=1``, where failover could only repeat the
+    primary read).
+    """
+    layer: DHT | None = dht
+    while layer is not None:
+        if isinstance(layer, ReplicatedDHT) and layer.n_replicas > 1:
+            return layer
+        layer = getattr(layer, "inner", None)
+    return None
 
 
 class ReplicatedDHT(DelegatingDHT):
-    """Store each value under ``n_replicas`` salted keys of an inner DHT.
+    """Store each value on ``n_replicas`` peers chosen by a placement
+    policy.
 
-    Replica ``0`` uses the unmodified key (so peer placement of the
-    primary matches the unwrapped substrate); replicas ``1 … r-1`` use
-    ``key##i`` salts, which hash to unrelated peers.
+    The primary copy always lives where the unwrapped substrate routes
+    the key (replica 0 *is* the normal put), so with ``n_replicas=1``
+    the wrapper changes nothing.  Backup copies go to the policy's
+    peers via the kernel's direct peer access — or, under
+    :class:`~repro.dht.placement.HashSaltPolicy`, to wherever the
+    salted aliases ``key##r{i}`` hash.
     """
 
-    def __init__(self, inner: DHT, n_replicas: int = 3) -> None:
+    def __init__(
+        self,
+        inner: DHT,
+        n_replicas: int = 3,
+        policy: PlacementPolicy | None = None,
+    ) -> None:
         if n_replicas < 1:
             raise ConfigurationError(f"n_replicas must be >= 1: {n_replicas}")
         super().__init__(inner)
         self.n_replicas = n_replicas
+        if policy is None:
+            # Function-level import: the registry imports placement
+            # policies for its default enrollments, so importing it at
+            # module top would cycle.
+            from repro.dht.registry import placement_for
 
-    def _replica_keys(self, key: str) -> list[str]:
-        return [key] + [f"{key}##r{i}" for i in range(1, self.n_replicas)]
+            policy = placement_for(inner)
+        elif not hasattr(policy, "substrate"):
+            policy.bind(self._base_substrate(inner))
+        self.policy = policy
+        self._salted = isinstance(policy, HashSaltPolicy)
+        #: Removes that observed disagreeing replica values (satellite
+        #: counter mirrored into ``metrics.replica_divergences``).
+        self.divergent_removes = 0
+
+    @staticmethod
+    def _base_substrate(dht: DHT) -> DHT:
+        base = dht
+        while (inner := getattr(base, "inner", None)) is not None:
+            base = inner
+        return base
+
+    def _targets(self, key: str) -> list[int]:
+        """Ordered replica holders for ``key`` (owner first, live)."""
+        owner = self.inner.peer_of(key)
+        return self.policy.replicas_for(key, owner, self.n_replicas)
 
     # ------------------------------------------------------------------
     # DHT interface
     # ------------------------------------------------------------------
 
     def put(self, key: str, value: Any) -> None:
-        for replica_key in self._replica_keys(key):
-            self.inner.put(replica_key, value)
+        self.inner.put(key, value)
+        if self.n_replicas == 1:
+            return
+        if self._salted:
+            for i in range(1, self.n_replicas):
+                self.inner.put(HashSaltPolicy.salted(key, i), value)
+        else:
+            for peer in self._targets(key)[1:]:
+                self.inner.put_at(key, value, peer)
 
     def get(self, key: str) -> Any | None:
-        for replica_key in self._replica_keys(key):
-            value = self.inner.get(replica_key)
-            if value is not None:
-                return value
+        value = self.inner.get(key)
+        if value is not None or self.n_replicas == 1:
+            return value
+        # The primary read came back empty — a dropped reply or a key
+        # that simply is not stored; only the replicas can tell.
+        if self._salted:
+            for i in range(1, self.n_replicas):
+                self.metrics.record_replica_probe_get()
+                value = self.inner.get(HashSaltPolicy.salted(key, i))
+                if value is not None:
+                    self.metrics.record_replica_failover()
+                    return value
+        else:
+            for peer in self._targets(key)[1:]:
+                self.metrics.record_replica_probe_get()
+                value = self.inner.probe_get(key, peer)
+                if value is not None:
+                    self.metrics.record_replica_failover()
+                    return value
         return None
 
     def remove(self, key: str) -> Any | None:
-        removed = None
-        for replica_key in self._replica_keys(key):
-            value = self.inner.remove(replica_key)
-            removed = removed if removed is not None else value
-        return removed
+        if self._salted:
+            removed = [self.inner.remove(key)] + [
+                self.inner.remove(HashSaltPolicy.salted(key, i))
+                for i in range(1, self.n_replicas)
+            ]
+        else:
+            removed = [self.inner.remove(key)] + [
+                self.inner.remove_at(key, peer)
+                for peer in self._targets(key)[1:]
+            ]
+        present = [value for value in removed if value is not None]
+        if present and any(value != present[0] for value in present[1:]):
+            # Divergent replicas: surface the drift instead of silently
+            # answering with whichever copy happened to come back first.
+            self.divergent_removes += 1
+            self.metrics.record_replica_divergence()
+        if removed[0] is not None:
+            return removed[0]  # the primary copy is authoritative
+        return present[0] if present else None
 
     def local_write(self, key: str, value: Any) -> None:
-        for replica_key in self._replica_keys(key):
-            self.inner.local_write(replica_key, value)
+        if self._salted:
+            self.inner.local_write(key, value)
+            for i in range(1, self.n_replicas):
+                self.inner.local_write(HashSaltPolicy.salted(key, i), value)
+        elif self.n_replicas == 1:
+            self.inner.local_write(key, value)
+        else:
+            # Every holder — owner included — rewrites its own copy;
+            # addressing them explicitly keeps replicas from shadowing
+            # the owner in the kernel's holder scan.
+            for peer in self._targets(key):
+                self.inner.local_write_at(key, value, peer)
 
     # ------------------------------------------------------------------
-    # Introspection (delegates; replica salts are stripped)
+    # Degraded-read failover (consulted by repro.core before declaring
+    # a query UNREACHABLE; see docs/resilience.md)
+    # ------------------------------------------------------------------
+
+    def failover_get(self, key: str) -> Any | None:
+        """Probe every replica holder of ``key`` directly.
+
+        The degraded-read escape hatch: when the routed path has
+        already failed, this asks each holder — primary included, since
+        a direct probe is a different channel than the failed routed
+        lookup — for its copy.  Every probe is charged as a routed get
+        plus a ``replica_probe_gets`` tick; the *caller* records the
+        failover once the rescued value actually rescues its query.
+        Returns ``None`` when no live holder has the key.
+        """
+        if self.n_replicas == 1:
+            return None
+        if self._salted:
+            for i in range(self.n_replicas):
+                self.metrics.record_replica_probe_get()
+                probe = key if i == 0 else HashSaltPolicy.salted(key, i)
+                value = self.inner.get(probe)
+                if value is not None:
+                    return value
+        else:
+            for peer in self._targets(key):
+                self.metrics.record_replica_probe_get()
+                value = self.inner.probe_get(key, peer)
+                if value is not None:
+                    return value
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection (delegates; replica copies are deduplicated)
     # ------------------------------------------------------------------
 
     def peek(self, key: str) -> Any | None:
-        for replica_key in self._replica_keys(key):
-            value = self.inner.peek(replica_key)
+        value = self.inner.peek(key)
+        if value is not None or not self._salted:
+            return value
+        for i in range(1, self.n_replicas):
+            value = self.inner.peek(HashSaltPolicy.salted(key, i))
             if value is not None:
                 return value
         return None
 
     def keys(self) -> Iterable[str]:
+        # Placement-mode replicas repeat the key at several peers;
+        # salted-mode replicas append ``##r{i}``.  Both collapse here.
         seen: set[str] = set()
         for key in self.inner.keys():
             base = key.split("##r")[0]
@@ -86,5 +235,5 @@ class ReplicatedDHT(DelegatingDHT):
                 yield base
 
     def replica_peers(self, key: str) -> list[int]:
-        """Peers holding each replica of ``key``."""
-        return [self.inner.peer_of(rk) for rk in self._replica_keys(key)]
+        """Peers holding each replica of ``key``, owner first."""
+        return self._targets(key)

@@ -57,6 +57,22 @@ class SerializingDHT(DelegatingDHT):
         self.inner.local_write(key, self._encode(value))
 
     # ------------------------------------------------------------------
+    # Direct peer access (replica copies are bytes like everything else)
+    # ------------------------------------------------------------------
+
+    def probe_get(self, key: str, peer_id: int) -> Any | None:
+        return self._decode(self.inner.probe_get(key, peer_id))
+
+    def put_at(self, key: str, value: Any, peer_id: int) -> None:
+        self.inner.put_at(key, self._encode(value), peer_id)
+
+    def remove_at(self, key: str, peer_id: int) -> Any | None:
+        return self._decode(self.inner.remove_at(key, peer_id))
+
+    def local_write_at(self, key: str, value: Any, peer_id: int) -> None:
+        self.inner.local_write_at(key, self._encode(value), peer_id)
+
+    # ------------------------------------------------------------------
     # Introspection (peek decodes too; the rest delegate)
     # ------------------------------------------------------------------
 

@@ -41,6 +41,7 @@ from repro.experiments import (
     load_balance,
     minmax_cost,
     range_perf,
+    replica_availability,
     routing_diversity,
     substrates,
 )
@@ -70,6 +71,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str, int], list[ExperimentResult]]]]
     "routing-diversity": (
         "E25: hops per DHT-lookup across all registered substrates",
         routing_diversity.run,
+    ),
+    "replica-availability": (
+        "E26: availability vs replication factor (placement layer)",
+        replica_availability.run,
     ),
 }
 
@@ -170,9 +175,11 @@ def _main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=("ci", "paper"),
+        choices=("smoke", "ci", "paper"),
         default="ci",
-        help="parameter scale: 'ci' is fast, 'paper' uses paper-sized sweeps",
+        help="parameter scale: 'ci' is fast, 'paper' uses paper-sized "
+        "sweeps; 'smoke' is the minimal CI leg (experiments that define "
+        "one — currently E26)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(

@@ -403,6 +403,103 @@ class TestRoutePurity:
         assert codes(analyze_paths([tmp_path], select=["LHT009"])) == []
 
 
+POLICY_HEADER = "from dht.kernel import PlacementPolicy\n\n"
+
+
+class TestPlacementPurity:
+    """LHT013: placement policies are pure reads of topology."""
+
+    def test_policy_charging_metrics_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "dht/kernel.py": "class PlacementPolicy:\n    pass\n",
+                "dht/bad.py": POLICY_HEADER + (
+                    "class ChargingPolicy(PlacementPolicy):\n"
+                    "    def replicas_for(self, key, owner, k):\n"
+                    "        self.metrics.record_get(1, found=True)\n"
+                    "        return [owner]\n"
+                ),
+            },
+        )
+        violations = analyze_paths([tmp_path], select=["LHT013"])
+        assert codes(violations) == ["LHT013"]
+        assert "charges metrics" in violations[0].message
+
+    def test_policy_mutating_store_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "dht/kernel.py": "class PlacementPolicy:\n    pass\n",
+                "dht/bad.py": POLICY_HEADER + (
+                    "class WritingPolicy(PlacementPolicy):\n"
+                    "    def replicas_for(self, key, owner, k):\n"
+                    "        store = self.substrate.peers.store_of(owner)\n"
+                    "        store[key] = 'replica'\n"
+                    "        return [owner]\n"
+                ),
+            },
+        )
+        violations = analyze_paths([tmp_path], select=["LHT013"])
+        # Two offenses: the store_of() read and the subscript mutation.
+        assert set(codes(violations)) == {"LHT013"}
+        assert len(violations) == 2
+
+    def test_policy_randomness_flagged_one_helper_away(self, tmp_path):
+        # Stricter than LHT009: hermeticity sinks are placement
+        # offenses even when reached through a helper.
+        write_tree(
+            tmp_path,
+            {
+                "dht/kernel.py": "class PlacementPolicy:\n    pass\n",
+                "dht/bad.py": POLICY_HEADER + (
+                    "import random\n\n"
+                    "def pick(ids):\n"
+                    "    return random.choice(ids)\n\n"
+                    "class SamplingPolicy(PlacementPolicy):\n"
+                    "    def replicas_for(self, key, owner, k):\n"
+                    "        return [owner, pick([1, 2, 3])]\n"
+                ),
+            },
+        )
+        violations = analyze_paths([tmp_path], select=["LHT013"])
+        assert codes(violations) == ["LHT013"]
+        assert "sink" in violations[0].message
+
+    def test_pure_membership_read_is_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "dht/kernel.py": "class PlacementPolicy:\n    pass\n",
+                "dht/good.py": POLICY_HEADER + (
+                    "class RingPolicy(PlacementPolicy):\n"
+                    "    def replicas_for(self, key, owner, k):\n"
+                    "        ring = self.substrate.peers.sorted_ids()\n"
+                    "        idx = ring.index(owner)\n"
+                    "        n = len(ring)\n"
+                    "        return [ring[(idx + i) % n] "
+                    "for i in range(min(k, n))]\n"
+                ),
+            },
+        )
+        assert codes(analyze_paths([tmp_path], select=["LHT013"])) == []
+
+    def test_abstract_base_is_exempt(self, tmp_path):
+        # The ABC itself (simple name PlacementPolicy) is skipped; only
+        # concrete policies are checked.
+        write_tree(
+            tmp_path,
+            {
+                "dht/kernel.py": (
+                    "class PlacementPolicy:\n"
+                    "    def replicas_for(self, key, owner, k):\n"
+                    "        raise NotImplementedError\n"
+                ),
+            },
+        )
+        assert codes(analyze_paths([tmp_path], select=["LHT013"])) == []
+
+
 class TestExceptionFlow:
     """LHT010: no broad or silent swallows of typed DHT errors."""
 

@@ -153,6 +153,7 @@ class TestRunnerCLI:
             "availability",
             "cached",
             "routing-diversity",
+            "replica-availability",
         }
 
     def test_latency_experiment(self):

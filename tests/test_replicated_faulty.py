@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core import IndexConfig, LHTIndex
-from repro.dht import ChordDHT, FaultyDHT, LocalDHT, ReplicatedDHT
+from repro.dht import (
+    ChordDHT,
+    FaultyDHT,
+    HashSaltPolicy,
+    LocalDHT,
+    ReplicatedDHT,
+)
 from repro.errors import ConfigurationError, DHTError, ReproError
 
 
@@ -14,6 +20,16 @@ class TestReplicatedDHT:
     def test_put_writes_all_replicas(self):
         inner = LocalDHT(16, 0)
         dht = ReplicatedDHT(inner, n_replicas=3)
+        dht.put("k", "v")
+        assert inner.metrics.puts == 3  # put amplification is charged
+        assert inner.peek("k") == "v"
+        # Every placement target holds its own copy under the plain key.
+        for peer in dht.replica_peers("k"):
+            assert inner.probe_get("k", peer) == "v"
+
+    def test_salted_fallback_writes_aliases(self):
+        inner = LocalDHT(16, 0)
+        dht = ReplicatedDHT(inner, n_replicas=3, policy=HashSaltPolicy())
         dht.put("k", "v")
         assert inner.metrics.puts == 3
         assert inner.peek("k") == "v"
@@ -32,8 +48,10 @@ class TestReplicatedDHT:
         inner = LocalDHT(16, 0)
         dht = ReplicatedDHT(inner, n_replicas=3)
         dht.put("k", "v")
-        inner.remove("k")  # primary lost
-        assert dht.get("k") == "v"  # served by a replica
+        inner.remove("k")  # primary copy lost at the owner
+        assert dht.get("k") == "v"  # served by a replica holder
+        assert inner.metrics.replica_failovers == 1
+        assert inner.metrics.replica_probe_gets >= 1
 
     def test_remove_clears_all(self):
         inner = LocalDHT(16, 0)
@@ -49,10 +67,10 @@ class TestReplicatedDHT:
         dht.put("b", 2)
         assert sorted(dht.keys()) == ["a", "b"]
 
-    def test_replica_peers_differ(self):
+    def test_replica_peers_distinct(self):
         dht = ReplicatedDHT(LocalDHT(64, 0), n_replicas=3)
         peers = dht.replica_peers("some-key")
-        assert len(set(peers)) >= 2  # salts land on distinct peers
+        assert len(set(peers)) == 3  # placement guarantees distinctness
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
